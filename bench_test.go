@@ -1,0 +1,311 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper (see
+// DESIGN.md §4 for the experiment index). Each benchmark regenerates its
+// artefact end to end — trace synthesis, flow measurement, model evaluation
+// — on a reduced-scale suite so a full `go test -bench=.` pass stays in the
+// minutes range; cmd/experiments runs the same code at full scale.
+//
+// Reported metrics (b.ReportMetric) carry the headline number of each
+// artefact so a benchmark log doubles as a regression record of the
+// reproduction quality.
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/mginf"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// benchOptions is the reduced scale shared by the suite-wide benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Suite: trace.SuiteOptions{
+			LinkBps:          20e6,
+			IntervalSec:      30,
+			IntervalsPerHour: 0.3,
+			MaxIntervals:     2,
+		},
+		Quiet: true,
+	}
+}
+
+func newBenchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	r, err := experiments.NewRunner(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// runExperiment wraps the common loop.
+func runExperiment(b *testing.B, fn func(*experiments.Runner) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner(b)
+		if err := fn(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1TraceSuite(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Table1(io.Discard) })
+}
+
+func BenchmarkFig1FlowSplitting(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig1(io.Discard) })
+}
+
+func BenchmarkFig3InterArrivals5Tuple(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig3(io.Discard) })
+}
+
+func BenchmarkFig4InterArrivalsPrefix(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig4(io.Discard) })
+}
+
+func BenchmarkFig5SizeDurationACF(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig5(io.Discard) })
+}
+
+func BenchmarkFig6SizeDurationACFPrefix(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig6(io.Discard) })
+}
+
+func BenchmarkFig7ShotShapes(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig7(io.Discard) })
+}
+
+func BenchmarkFig8AutoCorrelation(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig8(io.Discard) })
+}
+
+// scatterBench runs a CoV scatter figure and reports the share of intervals
+// within the paper's ±20% band.
+func scatterBench(b *testing.B, def flow.Definition, shotB int, fig func(*experiments.Runner) error) {
+	b.Helper()
+	var within, total float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner(b)
+		if err := fig(r); err != nil {
+			b.Fatal(err)
+		}
+		sts, err := r.Stats(def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sts {
+			model := s.ModelCoV[shotB]
+			if s.MeasCoV == 0 || model == 0 {
+				continue
+			}
+			total++
+			if math.Abs(model-s.MeasCoV)/s.MeasCoV <= 0.20 {
+				within++
+			}
+		}
+	}
+	if total > 0 {
+		b.ReportMetric(100*within/total, "%within20")
+	}
+}
+
+func BenchmarkFig9CoVTriangular(b *testing.B) {
+	scatterBench(b, flow.By5Tuple, 1, func(r *experiments.Runner) error { return r.Fig9(io.Discard) })
+}
+
+func BenchmarkFig10CoVParabolic(b *testing.B) {
+	scatterBench(b, flow.By5Tuple, 2, func(r *experiments.Runner) error { return r.Fig10(io.Discard) })
+}
+
+func BenchmarkFig11PowerFit(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig11(io.Discard) })
+}
+
+func BenchmarkFig12CoVRectPrefix(b *testing.B) {
+	scatterBench(b, flow.ByPrefix24, 0, func(r *experiments.Runner) error { return r.Fig12(io.Discard) })
+}
+
+func BenchmarkFig13CoVTriPrefix(b *testing.B) {
+	scatterBench(b, flow.ByPrefix24, 1, func(r *experiments.Runner) error { return r.Fig13(io.Discard) })
+}
+
+func BenchmarkTable2Prediction(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error {
+		// A shorter prediction trace than the 1800 s default keeps the
+		// bench tight while exercising every ℓ.
+		return r.Table2(io.Discard, 600, 1)
+	})
+}
+
+func BenchmarkFig14PredictionSeries(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.Fig14(io.Discard, 600, 1) })
+}
+
+func BenchmarkAppADimensioning(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AppA(io.Discard) })
+}
+
+func BenchmarkAppCGenerator(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AppC(io.Discard, 2) })
+}
+
+func BenchmarkAblationShots(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationShots(io.Discard) })
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationBaseline(io.Discard) })
+}
+
+func BenchmarkAblationDelta(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationDelta(io.Discard) })
+}
+
+func BenchmarkAblationSplit(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationSplit(io.Discard) })
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationSmoothing(io.Discard) })
+}
+
+func BenchmarkAblationLRD(b *testing.B) {
+	runExperiment(b, func(r *experiments.Runner) error { return r.AblationLRD(io.Discard) })
+}
+
+// --- Component micro-benchmarks (hot paths of the pipeline) ---
+
+func benchTraceConfig() trace.Config {
+	size, _ := dist.NewBoundedPareto(1.3, 1500, 3e5)
+	rate, _ := dist.LognormalFromMoments(80e3, 1.5)
+	return trace.Config{
+		Duration:  30,
+		Lambda:    300,
+		SizeBytes: size,
+		RateBps:   rate,
+		ShotB:     dist.Uniform{Lo: 1.5, Hi: 2.5},
+		Warmup:    30,
+		Seed:      11,
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	var pkts int64
+	for i := 0; i < b.N; i++ {
+		_, sum, err := trace.GenerateAll(benchTraceConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts += sum.Packets
+	}
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+}
+
+func BenchmarkFlowMeasurement(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "pkts/op")
+}
+
+func BenchmarkRateBinning(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timeseries.Bin(recs, 30, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelVariance(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := core.InputFromFlows(res.Flows, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := in.Model(core.Parabolic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Variance()
+	}
+	b.ReportMetric(float64(len(m.Flows)), "flows/op")
+}
+
+func BenchmarkModelAveragedVariance(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := core.InputFromFlows(res.Flows, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := in.Model(core.Triangular)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AveragedVariance(0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMGInfSimulation(b *testing.B) {
+	e, err := dist.NewExponential(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := mginf.New(200, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := newRand(int64(i))
+		if _, err := q.Simulate(100, 0.5, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newRand is a local helper so the benchmark file reads without importing
+// math/rand at the top amid the domain imports.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,135 @@
+// Command experiments regenerates the tables and figures of "A flow-based
+// model for Internet backbone traffic" (Barakat et al., IMC 2002) on the
+// scaled synthetic trace suite. See DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1,fig9,fig10
+//	experiments -run table2 -predsec 1800
+//	experiments -link 20e6 -interval 60 -maxivl 4 -run fig9   # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids (see -list)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		link    = flag.Float64("link", 100e6, "scaled link capacity in bit/s (paper: 622e6)")
+		ivl     = flag.Float64("interval", 120, "analysis interval in seconds (paper: 1800)")
+		perHour = flag.Float64("perhour", 2, "analysis intervals per paper trace hour")
+		maxIvl  = flag.Int("maxivl", 0, "cap intervals per trace (0 = paper-proportional)")
+		delta   = flag.Float64("delta", 0.2, "rate averaging interval Δ in seconds")
+		predSec = flag.Float64("predsec", 1800, "prediction trace length for table2/fig14")
+		seed    = flag.Int64("seed", 0, "suite seed offset")
+		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
+	)
+	flag.Parse()
+
+	ids := []string{
+		"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "table2", "fig14",
+		"appA", "appC",
+		"ablation-shots", "ablation-baseline", "ablation-delta",
+		"ablation-split", "ablation-smoothing", "ablation-lrd",
+	}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	r, err := experiments.NewRunner(experiments.Options{
+		Suite: trace.SuiteOptions{
+			LinkBps:          *link,
+			IntervalSec:      *ivl,
+			IntervalsPerHour: *perHour,
+			MaxIntervals:     *maxIvl,
+			Seed:             *seed,
+		},
+		Delta: *delta,
+		Quiet: *quiet,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, id := range ids {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				want[id] = true
+			}
+		}
+	}
+
+	w := os.Stdout
+	dispatch := map[string]func() error{
+		"table1":             func() error { return r.Table1(w) },
+		"fig1":               func() error { return r.Fig1(w) },
+		"fig3":               func() error { return r.Fig3(w) },
+		"fig4":               func() error { return r.Fig4(w) },
+		"fig5":               func() error { return r.Fig5(w) },
+		"fig6":               func() error { return r.Fig6(w) },
+		"fig7":               func() error { return r.Fig7(w) },
+		"fig8":               func() error { return r.Fig8(w) },
+		"fig9":               func() error { return r.Fig9(w) },
+		"fig10":              func() error { return r.Fig10(w) },
+		"fig11":              func() error { return r.Fig11(w) },
+		"fig12":              func() error { return r.Fig12(w) },
+		"fig13":              func() error { return r.Fig13(w) },
+		"table2":             func() error { return r.Table2(w, *predSec, 1000+*seed) },
+		"fig14":              func() error { return r.Fig14(w, *predSec, 1000+*seed) },
+		"appA":               func() error { return r.AppA(w) },
+		"appC":               func() error { return r.AppC(w, 2000+*seed) },
+		"ablation-shots":     func() error { return r.AblationShots(w) },
+		"ablation-baseline":  func() error { return r.AblationBaseline(w) },
+		"ablation-delta":     func() error { return r.AblationDelta(w) },
+		"ablation-split":     func() error { return r.AblationSplit(w) },
+		"ablation-smoothing": func() error { return r.AblationSmoothing(w) },
+		"ablation-lrd":       func() error { return r.AblationLRD(w) },
+	}
+
+	ran := 0
+	for _, id := range ids { // canonical order
+		if !want[id] {
+			continue
+		}
+		fn, ok := dispatch[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment id %q", id))
+		}
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		ran++
+		delete(want, id)
+	}
+	for id := range want {
+		fatal(fmt.Errorf("unknown experiment id %q (use -list)", id))
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("nothing to run"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command tracegen generates synthetic backbone packet traces (the Sprint
+// OC-12 substitutes of Table I) and writes them as standard pcap files that
+// tcpdump/wireshark can open and cmd/flowstats can analyse.
+//
+// Usage:
+//
+//	tracegen -o trace1.pcap                  # trace 1 of the scaled suite
+//	tracegen -trace 4 -o quiet.pcap          # the 26 Mb/s (scaled) trace
+//	tracegen -duration 60 -lambda 200 -b 2 -o custom.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output pcap file (required)")
+		traceIdx = flag.Int("trace", 1, "Table I trace number 1..7 (suite mode)")
+		duration = flag.Float64("duration", 0, "custom mode: trace length in seconds (overrides -trace)")
+		lambda   = flag.Float64("lambda", 100, "custom mode: flow arrival rate per second")
+		b        = flag.Float64("b", 2, "custom mode: shot exponent (0 rect, 1 tri, 2 parabolic)")
+		link     = flag.Float64("link", 100e6, "suite mode: scaled link capacity in bit/s")
+		ivl      = flag.Float64("interval", 120, "suite mode: analysis interval seconds")
+		maxIvl   = flag.Int("maxivl", 2, "suite mode: intervals to generate")
+		seed     = flag.Int64("seed", 1, "random seed")
+		warmup   = flag.Float64("warmup", 60, "stationarity warm-up in seconds")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required"))
+	}
+
+	var cfg trace.Config
+	if *duration > 0 {
+		size, err := trace.FlowSizeDist()
+		if err != nil {
+			fatal(err)
+		}
+		rate, err := trace.FlowRateDist(283e3)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = trace.Config{
+			Duration:  *duration,
+			Lambda:    *lambda,
+			SizeBytes: size,
+			RateBps:   rate,
+			ShotB:     dist.Constant{V: *b},
+			Seed:      *seed,
+			Warmup:    *warmup,
+		}
+	} else {
+		specs, err := trace.DefaultSuite(trace.SuiteOptions{
+			LinkBps:      *link,
+			IntervalSec:  *ivl,
+			MaxIntervals: *maxIvl,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *traceIdx < 1 || *traceIdx > len(specs) {
+			fatal(fmt.Errorf("-trace must be 1..%d", len(specs)))
+		}
+		cfg = specs[*traceIdx-1].Config()
+		cfg.Warmup = *warmup
+	}
+
+	recs, sum, err := trace.GenerateAll(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WritePcap(f, recs); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d packets, %d flows, %.2f Mb/s over %.0f s\n",
+		*out, sum.Packets, sum.Flows, sum.AvgRateBps/1e6, sum.Duration)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

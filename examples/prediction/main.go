@@ -1,0 +1,105 @@
+// Prediction (§VII-B): forecast the total rate with a Moving-Average
+// predictor whose coefficients come from the model's auto-covariance
+// (Theorem 2) rather than from scarce rate samples, and compare against the
+// purely measurement-driven predictor — the paper's Table II experiment.
+//
+//	go run ./examples/prediction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/predict"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A 15-minute trace at the mid-utilisation operating point.
+	specs, err := trace.DefaultSuite(trace.SuiteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := specs[4].Config()
+	cfg.Duration = 900
+	cfg.Warmup = 60
+	recs, _, err := trace.GenerateAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series, err := timeseries.Bin(recs, cfg.Duration, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series.Subtract(res.Discarded)
+
+	fmt.Printf("trace: %.0f s at %.2f Mb/s mean\n", cfg.Duration, series.Mean()/1e6)
+	fmt.Printf("%8s | %8s %10s | %8s %10s\n",
+		"ell(s)", "M-meas", "err-meas", "M-model", "err-model")
+
+	for _, ell := range []float64{2, 5, 10, 30} {
+		sampled, err := series.Downsample(int(ell / 0.2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := len(sampled.Rate)
+		train, test := sampled.Rate[:n/2], sampled.Rate[n/2:]
+
+		// Measurement-driven: ACF estimated from the few training samples.
+		maxLag := 8
+		if maxLag > len(train)/3 {
+			maxLag = len(train) / 3
+		}
+		pMeas, _, err := predict.SelectOrder(predict.MeasuredACF(train, maxLag), train, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eMeas, err := pMeas.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Model-driven: ACF from Theorem 2 on the training half's flows —
+		// every flow contributes, so the estimate does not degrade as ℓ
+		// grows and samples run out (the paper's argument).
+		var trainFlows []flow.Flow
+		for _, f := range res.Flows {
+			if f.Start < cfg.Duration/2 {
+				trainFlows = append(trainFlows, f)
+			}
+		}
+		in, err := core.InputFromFlows(trainFlows, cfg.Duration/2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := in.Model(core.Triangular)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho, err := predict.ModelACF(m, ell, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pModel, _, err := predict.SelectOrder(rho, train, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eModel, err := pModel.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%8.0f | %8d %9.2f%% | %8d %9.2f%%\n",
+			ell, pMeas.P.Order(), eMeas*100, pModel.P.Order(), eModel*100)
+	}
+	fmt.Println("\nthe model-based ACF uses every flow, not just the sparse rate samples,")
+	fmt.Println("so its predictor stays usable at prediction intervals where the")
+	fmt.Println("measured ACF has almost no data (the paper's Table II conclusion)")
+}

@@ -1,0 +1,134 @@
+// Package anomaly implements the traffic-anomaly detection application the
+// paper's introduction motivates: the model predicts, from flow statistics
+// alone, a Gaussian band E[R] ± z·σ_Δ in which the measured rate should
+// live (§V-E); sustained excursions flag denial-of-service floods or flash
+// crowds (above the band) and upstream link failures (below it).
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/timeseries"
+)
+
+// Direction of an excursion.
+type Direction int
+
+// Excursion directions.
+const (
+	Above Direction = 1  // rate above the band: flood / flash crowd
+	Below Direction = -1 // rate below the band: upstream failure / drop
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Above:
+		return "above"
+	case Below:
+		return "below"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Event is one detected anomaly: a run of at least MinRun consecutive bins
+// outside the band on the same side.
+type Event struct {
+	StartBin  int
+	EndBin    int // inclusive
+	Direction Direction
+	// Peak is the most extreme rate inside the event (max above the band,
+	// min below it).
+	Peak float64
+}
+
+// Duration returns the event length in seconds given the bin width.
+func (e Event) Duration(delta float64) float64 {
+	return float64(e.EndBin-e.StartBin+1) * delta
+}
+
+// Detector flags bins whose rate leaves [Mu - Z·Sigma, Mu + Z·Sigma].
+type Detector struct {
+	Mu    float64
+	Sigma float64
+	// Z is the band half-width in standard deviations (3 is a common
+	// operating point: a stationary Gaussian rate leaves it ~0.3% of time).
+	Z float64
+	// MinRun debounces: an event needs this many consecutive out-of-band
+	// bins. Isolated excursions are expected statistically and ignored.
+	MinRun int
+}
+
+// New validates the parameters.
+func New(mu, sigma, z float64, minRun int) (*Detector, error) {
+	if !(sigma > 0) {
+		return nil, fmt.Errorf("anomaly: sigma must be > 0, got %g", sigma)
+	}
+	if !(z > 0) {
+		return nil, fmt.Errorf("anomaly: z must be > 0, got %g", z)
+	}
+	if minRun < 1 {
+		return nil, fmt.Errorf("anomaly: minRun must be >= 1, got %d", minRun)
+	}
+	return &Detector{Mu: mu, Sigma: sigma, Z: z, MinRun: minRun}, nil
+}
+
+// FromModel builds a detector from a fitted shot-noise model, using the
+// Δ-averaged standard deviation (eq. 7) so the band matches rate samples
+// measured over delta-length windows.
+func FromModel(m *core.Model, delta, z float64, minRun int) (*Detector, error) {
+	v, err := m.AveragedVariance(delta)
+	if err != nil {
+		return nil, fmt.Errorf("anomaly: %w", err)
+	}
+	if !(v > 0) {
+		return nil, fmt.Errorf("anomaly: model variance is zero")
+	}
+	return New(m.Mean(), math.Sqrt(v), z, minRun)
+}
+
+// Bounds returns the detection band.
+func (d *Detector) Bounds() (lo, hi float64) {
+	return d.Mu - d.Z*d.Sigma, d.Mu + d.Z*d.Sigma
+}
+
+// Scan walks the series and returns all events, in order.
+func (d *Detector) Scan(s timeseries.Series) []Event {
+	lo, hi := d.Bounds()
+	var events []Event
+	var cur *Event
+	flush := func(end int) {
+		if cur != nil && end-cur.StartBin+1 >= d.MinRun {
+			cur.EndBin = end
+			events = append(events, *cur)
+		}
+		cur = nil
+	}
+	for k, r := range s.Rate {
+		var dir Direction
+		switch {
+		case r > hi:
+			dir = Above
+		case r < lo:
+			dir = Below
+		default:
+			flush(k - 1)
+			continue
+		}
+		if cur != nil && cur.Direction != dir {
+			flush(k - 1)
+		}
+		if cur == nil {
+			cur = &Event{StartBin: k, Direction: dir, Peak: r}
+			continue
+		}
+		if (dir == Above && r > cur.Peak) || (dir == Below && r < cur.Peak) {
+			cur.Peak = r
+		}
+	}
+	flush(len(s.Rate) - 1)
+	return events
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// FlowSample is one observed (or sampled) flow: size S in bits, duration D
+// in seconds. The model's expectations E[S], E[S²/D], E[∫X²] etc. are
+// averages over a population of these.
+type FlowSample struct {
+	S float64 // bits
+	D float64 // seconds
+}
+
+// Model is the Poisson shot-noise model of the total rate R(t) on a link:
+// flow arrivals at rate Lambda, iid flows drawn from the Flows population,
+// each transmitting with the Shot rate function.
+type Model struct {
+	Lambda float64
+	Shot   Shot
+	Flows  []FlowSample
+
+	meanS    float64 // E[S] bits
+	meanS2oD float64 // E[S²/D]
+}
+
+// NewModel validates inputs and precomputes the flow-population moments.
+// The flow population must be non-empty with positive sizes and durations.
+func NewModel(lambda float64, shot Shot, flows []FlowSample) (*Model, error) {
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("core: lambda must be > 0, got %g", lambda)
+	}
+	if shot == nil {
+		return nil, fmt.Errorf("core: nil shot")
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("core: empty flow population")
+	}
+	var sumS, sumS2oD float64
+	for i, f := range flows {
+		if !(f.S > 0) || !(f.D > 0) {
+			return nil, fmt.Errorf("core: flow %d has non-positive size or duration (%g, %g)", i, f.S, f.D)
+		}
+		sumS += f.S
+		sumS2oD += f.S * f.S / f.D
+	}
+	n := float64(len(flows))
+	return &Model{
+		Lambda:   lambda,
+		Shot:     shot,
+		Flows:    flows,
+		meanS:    sumS / n,
+		meanS2oD: sumS2oD / n,
+	}, nil
+}
+
+// Input bundles the three measurable parameters the paper's §V-G identifies
+// as sufficient for the first two moments, together with the raw flow
+// samples needed for the auto-covariance (Theorem 2) and higher moments.
+type Input struct {
+	Lambda      float64 // flow arrival rate (flows/s)
+	MeanS       float64 // E[S] in bits
+	MeanS2OverD float64 // E[S²/D] in bits²/s
+	Samples     []FlowSample
+}
+
+// InputFromFlows derives model inputs from measured flows over an interval
+// of the given length (seconds). Flows with zero duration are skipped (the
+// measurement pipeline has already discarded single-packet flows, but a
+// defensive filter keeps the estimator total).
+func InputFromFlows(flows []flow.Flow, intervalSec float64) (Input, error) {
+	if !(intervalSec > 0) {
+		return Input{}, fmt.Errorf("core: interval must be > 0, got %g", intervalSec)
+	}
+	samples := make([]FlowSample, 0, len(flows))
+	var sumS, sumS2oD float64
+	for _, f := range flows {
+		d := f.Duration()
+		if !(d > 0) {
+			continue
+		}
+		s := f.SizeBits()
+		samples = append(samples, FlowSample{S: s, D: d})
+		sumS += s
+		sumS2oD += s * s / d
+	}
+	if len(samples) == 0 {
+		return Input{}, fmt.Errorf("core: no usable flows in interval")
+	}
+	n := float64(len(samples))
+	return Input{
+		Lambda:      n / intervalSec,
+		MeanS:       sumS / n,
+		MeanS2OverD: sumS2oD / n,
+		Samples:     samples,
+	}, nil
+}
+
+// Model builds a model from the input with the given shot shape.
+func (in Input) Model(shot Shot) (*Model, error) {
+	return NewModel(in.Lambda, shot, in.Samples)
+}
+
+// MeanS returns E[S] in bits.
+func (m *Model) MeanS() float64 { return m.meanS }
+
+// MeanS2OverD returns E[S²/D] in bits²/s.
+func (m *Model) MeanS2OverD() float64 { return m.meanS2oD }
+
+// Mean returns E[R(t)] = λ·E[S] (Corollary 1). Note it is independent of
+// the shot shape and of the duration distribution.
+func (m *Model) Mean() float64 { return m.Lambda * m.meanS }
+
+// Variance returns Var(R) = λ·E[∫₀^D X²(u) du] (Corollary 2).
+func (m *Model) Variance() float64 {
+	var sum float64
+	for _, f := range m.Flows {
+		sum += m.Shot.IntegralX2(f.S, f.D)
+	}
+	return m.Lambda * sum / float64(len(m.Flows))
+}
+
+// StdDev returns the standard deviation of the total rate.
+func (m *Model) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// CoV returns the coefficient of variation σ/μ of the total rate, the
+// quantity the paper's validation compares against measurements.
+func (m *Model) CoV() float64 {
+	mu := m.Mean()
+	if mu == 0 {
+		return 0
+	}
+	return m.StdDev() / mu
+}
+
+// VarianceLowerBound returns λ·E[S²/D], the variance under rectangular
+// shots, which Theorem 3 proves is the minimum over all flow rate
+// functions.
+func (m *Model) VarianceLowerBound() float64 { return m.Lambda * m.meanS2oD }
+
+// AutoCovariance returns γ(τ) = λ·E[∫₀^{(D-|τ|)+} X(u)X(u+|τ|) du]
+// (Theorem 2). γ(0) equals Variance().
+func (m *Model) AutoCovariance(tau float64) float64 {
+	var sum float64
+	for _, f := range m.Flows {
+		sum += m.Shot.CrossCov(f.S, f.D, tau)
+	}
+	return m.Lambda * sum / float64(len(m.Flows))
+}
+
+// AutoCorrelation returns γ(τ)/γ(0), the curve of the paper's Figure 8.
+func (m *Model) AutoCorrelation(tau float64) float64 {
+	v := m.Variance()
+	if v == 0 {
+		return 0
+	}
+	return m.AutoCovariance(tau) / v
+}
+
+// AveragedVariance returns σ_Δ², the variance of the rate averaged over
+// windows of length Δ (the measured rate of §V-F, eq. 7):
+//
+//	σ_Δ² = (2/Δ) ∫₀^Δ (1 - τ/Δ) γ(τ) dτ
+//
+// It is always at most Variance() and approaches it as Δ → 0.
+func (m *Model) AveragedVariance(delta float64) (float64, error) {
+	if !(delta > 0) {
+		return 0, fmt.Errorf("core: averaging interval must be > 0, got %g", delta)
+	}
+	f := func(tau float64) float64 {
+		return (1 - tau/delta) * m.AutoCovariance(tau)
+	}
+	// The integrand is smooth; 64 Simpson points across [0, Δ] are ample
+	// because γ varies on the scale of flow durations, which the paper's
+	// operating point (Δ = 200 ms ≪ E[D]) keeps much longer than Δ.
+	return 2 / delta * simpson(f, 0, delta, 64), nil
+}
+
+// LST returns the Laplace-Stieltjes transform E[e^{-θR}] of the stationary
+// total rate (Theorem 1):
+//
+//	E[e^{-θR}] = exp( -λ · E[ ∫₀^D (1 - e^{-θ·X(u)}) du ] )
+//
+// for θ ≥ 0. The inner integral is evaluated by Simpson quadrature per flow
+// sample.
+func (m *Model) LST(theta float64) (float64, error) {
+	if theta < 0 {
+		return 0, fmt.Errorf("core: LST requires theta >= 0, got %g", theta)
+	}
+	if theta == 0 {
+		return 1, nil
+	}
+	var sum float64
+	for _, f := range m.Flows {
+		s, d := f.S, f.D
+		g := func(u float64) float64 {
+			return 1 - math.Exp(-theta*m.Shot.Rate(s, d, u))
+		}
+		sum += simpson(g, 0, d, 128)
+	}
+	return math.Exp(-m.Lambda * sum / float64(len(m.Flows))), nil
+}
+
+// Cumulant returns the k-th cumulant of R(t), κ_k = λ·E[∫₀^D X(u)^k du]
+// (Campbell's theorem; Corollary 3 in LST form). κ₁ is the mean, κ₂ the
+// variance, κ₃ drives the skewness. The shot must be a PowerShot or a
+// FuncShot; other shots are integrated numerically through Rate.
+func (m *Model) Cumulant(k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("core: cumulant order must be >= 1, got %d", k)
+	}
+	var sum float64
+	if ps, ok := m.Shot.(PowerShot); ok {
+		for _, f := range m.Flows {
+			v, err := ps.IntegralXK(f.S, f.D, k)
+			if err != nil {
+				return 0, err
+			}
+			sum += v
+		}
+	} else {
+		for _, f := range m.Flows {
+			s, d := f.S, f.D
+			g := func(u float64) float64 {
+				return math.Pow(m.Shot.Rate(s, d, u), float64(k))
+			}
+			sum += simpson(g, 0, d, 256)
+		}
+	}
+	return m.Lambda * sum / float64(len(m.Flows)), nil
+}
+
+// Skewness returns κ₃/κ₂^(3/2) of the total rate, a check on how far the
+// Gaussian approximation of §V-E can be trusted (it decays as 1/√λ).
+func (m *Model) Skewness() (float64, error) {
+	k2, err := m.Cumulant(2)
+	if err != nil {
+		return 0, err
+	}
+	if k2 <= 0 {
+		return 0, fmt.Errorf("core: non-positive variance")
+	}
+	k3, err := m.Cumulant(3)
+	if err != nil {
+		return 0, err
+	}
+	return k3 / math.Pow(k2, 1.5), nil
+}
+
+// SpectralDensity returns the power spectral density Γ(ω) of the centred
+// total rate at angular frequency ω (rad/s): Γ(ω) = λ/(2π)·E[|X̂(ω)|²]
+// where X̂ is the Fourier transform of the shot (§V-B). The transform is
+// evaluated by quadrature per flow sample.
+func (m *Model) SpectralDensity(omega float64) float64 {
+	var sum float64
+	for _, f := range m.Flows {
+		s, d := f.S, f.D
+		re := simpson(func(t float64) float64 { return m.Shot.Rate(s, d, t) * math.Cos(omega*t) }, 0, d, 256)
+		im := simpson(func(t float64) float64 { return m.Shot.Rate(s, d, t) * math.Sin(omega*t) }, 0, d, 256)
+		sum += re*re + im*im
+	}
+	return m.Lambda / (2 * math.Pi) * sum / float64(len(m.Flows))
+}
+
+// GaussianPDF returns the Gaussian approximation of the stationary density
+// of R(t) at rate x (§V-E), justified by the large number of flows
+// simultaneously active on a backbone link.
+func (m *Model) GaussianPDF(x float64) float64 {
+	mu, sigma := m.Mean(), m.StdDev()
+	if sigma == 0 {
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// ExceedProb returns P(R > capacity) under the Gaussian approximation: the
+// fraction of time the link would be congested at the given capacity.
+func (m *Model) ExceedProb(capacity float64) float64 {
+	sigma := m.StdDev()
+	if sigma == 0 {
+		if capacity >= m.Mean() {
+			return 0
+		}
+		return 1
+	}
+	return 1 - stats.NormalCDF((capacity-m.Mean())/sigma)
+}
+
+// Bandwidth returns the capacity C such that P(R > C) = epsilon under the
+// Gaussian approximation: C = E[R] + z_{1-ε}·σ. This is the paper's link
+// dimensioning rule (§V-E, §VII-A).
+func (m *Model) Bandwidth(epsilon float64) (float64, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return 0, fmt.Errorf("core: congestion probability must be in (0,1), got %g", epsilon)
+	}
+	return m.Mean() + stats.NormalQuantile(1-epsilon)*m.StdDev(), nil
+}

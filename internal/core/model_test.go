@@ -1,0 +1,486 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+// testFlows draws a reproducible flow population: heavy-ish sizes, durations
+// from an independent rate.
+func testFlows(n int, seed int64) []FlowSample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]FlowSample, n)
+	for i := range out {
+		s := 1e4 * math.Exp(rng.NormFloat64()) // lognormal sizes, bits
+		r := 2e4 * math.Exp(0.5*rng.NormFloat64())
+		out[i] = FlowSample{S: s, D: s / r}
+	}
+	return out
+}
+
+func TestNewModelValidation(t *testing.T) {
+	fl := testFlows(10, 1)
+	if _, err := NewModel(0, Triangular, fl); err == nil {
+		t.Fatal("lambda 0 should be rejected")
+	}
+	if _, err := NewModel(10, nil, fl); err == nil {
+		t.Fatal("nil shot should be rejected")
+	}
+	if _, err := NewModel(10, Triangular, nil); err == nil {
+		t.Fatal("empty flows should be rejected")
+	}
+	if _, err := NewModel(10, Triangular, []FlowSample{{S: -1, D: 1}}); err == nil {
+		t.Fatal("negative size should be rejected")
+	}
+	if _, err := NewModel(10, Triangular, []FlowSample{{S: 1, D: 0}}); err == nil {
+		t.Fatal("zero duration should be rejected")
+	}
+}
+
+func TestMeanIsLambdaES(t *testing.T) {
+	fl := testFlows(1000, 2)
+	var sum float64
+	for _, f := range fl {
+		sum += f.S
+	}
+	m, err := NewModel(50, Parabolic, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 * sum / 1000
+	if !almostRel(m.Mean(), want, 1e-12) {
+		t.Fatalf("mean = %g, want λE[S] = %g", m.Mean(), want)
+	}
+	// Corollary 1: the mean is shot-independent.
+	m2, err := NewModel(50, Rectangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean() != m2.Mean() {
+		t.Fatal("mean must not depend on the shot shape")
+	}
+}
+
+func TestVarianceFactorsAcrossShapes(t *testing.T) {
+	fl := testFlows(2000, 3)
+	lb := 0.0
+	for _, f := range fl {
+		lb += f.S * f.S / f.D
+	}
+	lb = 40 * lb / 2000 // λ·E[S²/D]
+	for _, c := range []struct {
+		shot PowerShot
+		k    float64
+	}{
+		{Rectangular, 1}, {Triangular, 4.0 / 3.0}, {Parabolic, 9.0 / 5.0},
+	} {
+		m, err := NewModel(40, c.shot, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostRel(m.Variance(), c.k*lb, 1e-9) {
+			t.Fatalf("%s: variance %g, want %g·λE[S²/D] = %g",
+				c.shot.Name(), m.Variance(), c.k, c.k*lb)
+		}
+		if !almostRel(m.VarianceLowerBound(), lb, 1e-9) {
+			t.Fatalf("lower bound %g, want %g", m.VarianceLowerBound(), lb)
+		}
+	}
+}
+
+// Theorem 3 as a property: for arbitrary power shots and arbitrary flow
+// populations, the variance is at least the rectangular-shot variance.
+func TestTheorem3Property(t *testing.T) {
+	f := func(rawB float64, seed int64) bool {
+		b := math.Abs(math.Mod(rawB, 6))
+		fl := testFlows(200, seed)
+		m, err := NewModel(10, PowerShot{B: b}, fl)
+		if err != nil {
+			return false
+		}
+		return m.Variance() >= m.VarianceLowerBound()*(1-1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3 also holds for arbitrary (non-power) shapes.
+func TestTheorem3ForFuncShots(t *testing.T) {
+	shapes := map[string]func(float64) float64{
+		"sqrt":       math.Sqrt,
+		"log":        func(u float64) float64 { return math.Log(1 + 9*u) },
+		"exp":        func(u float64) float64 { return math.Exp(3 * u) },
+		"hump":       func(u float64) float64 { return u * (1 - u) },
+		"front-load": func(u float64) float64 { return 1 - u },
+	}
+	fl := testFlows(500, 7)
+	for name, phi := range shapes {
+		fs, err := NewFuncShot(name, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewModel(25, fs, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Variance() < m.VarianceLowerBound()*(1-1e-9) {
+			t.Fatalf("shape %q violates Theorem 3: var %g < bound %g",
+				name, m.Variance(), m.VarianceLowerBound())
+		}
+	}
+}
+
+func TestAutoCovarianceAtZeroIsVariance(t *testing.T) {
+	m, err := NewModel(30, Triangular, testFlows(500, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(m.AutoCovariance(0), m.Variance(), 1e-9) {
+		t.Fatalf("γ(0) = %g, variance %g", m.AutoCovariance(0), m.Variance())
+	}
+	if !almostRel(m.AutoCorrelation(0), 1, 1e-9) {
+		t.Fatalf("ρ(0) = %g, want 1", m.AutoCorrelation(0))
+	}
+}
+
+func TestAutoCovarianceDecaysAndVanishes(t *testing.T) {
+	fl := testFlows(500, 5)
+	var maxD float64
+	for _, f := range fl {
+		if f.D > maxD {
+			maxD = f.D
+		}
+	}
+	m, err := NewModel(30, Parabolic, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for tau := 0.0; tau <= maxD; tau += maxD / 20 {
+		v := m.AutoCovariance(tau)
+		if v > prev+1e-9 {
+			t.Fatalf("γ increased at τ=%g", tau)
+		}
+		if v < 0 {
+			t.Fatalf("γ(%g) = %g negative for monotone shots", tau, v)
+		}
+		prev = v
+	}
+	if got := m.AutoCovariance(maxD * 1.01); got != 0 {
+		t.Fatalf("γ beyond max duration = %g, want 0", got)
+	}
+}
+
+func TestAveragedVarianceProperties(t *testing.T) {
+	m, err := NewModel(30, Triangular, testFlows(300, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Variance()
+	small, err := m.AveragedVariance(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(small, v, 1e-2) {
+		t.Fatalf("σ_Δ² for tiny Δ = %g, want ≈ σ² = %g", small, v)
+	}
+	// σ_Δ² decreases with Δ (the paper's smoothing-by-averaging).
+	prev := v
+	for _, delta := range []float64{0.05, 0.2, 1, 5} {
+		got, err := m.AveragedVariance(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-9 {
+			t.Fatalf("σ_Δ² increased at Δ=%g", delta)
+		}
+		if got > v {
+			t.Fatalf("σ_Δ² = %g exceeds σ² = %g", got, v)
+		}
+		prev = got
+	}
+	if _, err := m.AveragedVariance(0); err == nil {
+		t.Fatal("Δ=0 should be rejected")
+	}
+}
+
+func TestLSTProperties(t *testing.T) {
+	m, err := NewModel(20, Triangular, testFlows(200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := m.LST(0)
+	if err != nil || one != 1 {
+		t.Fatalf("LST(0) = %g, %v; want 1", one, err)
+	}
+	if _, err := m.LST(-1); err == nil {
+		t.Fatal("negative theta should be rejected")
+	}
+	// Monotone decreasing in θ, bounded in (0, 1].
+	prev := 1.0
+	for _, theta := range []float64{1e-9, 1e-8, 1e-7, 1e-6} {
+		v, err := m.LST(theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 || v > prev {
+			t.Fatalf("LST not decreasing in (0,1]: LST(%g) = %g after %g", theta, v, prev)
+		}
+		prev = v
+	}
+	// -d/dθ log LST at 0 equals the mean (Theorem 1 ⇒ Corollary 1).
+	h := 1e-9 / m.Mean() * 1e3 // scale step to the rate magnitude
+	lo, err := m.LST(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deriv := -(math.Log(lo)) / h
+	if !almostRel(deriv, m.Mean(), 1e-3) {
+		t.Fatalf("LST derivative %g, want mean %g", deriv, m.Mean())
+	}
+}
+
+func TestCumulantsMatchMoments(t *testing.T) {
+	m, err := NewModel(15, Parabolic, testFlows(300, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := m.Cumulant(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(k1, m.Mean(), 1e-12) {
+		t.Fatalf("κ₁ = %g, mean %g", k1, m.Mean())
+	}
+	k2, err := m.Cumulant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(k2, m.Variance(), 1e-12) {
+		t.Fatalf("κ₂ = %g, variance %g", k2, m.Variance())
+	}
+	if _, err := m.Cumulant(0); err == nil {
+		t.Fatal("order 0 should be rejected")
+	}
+	sk, err := m.Skewness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk <= 0 {
+		t.Fatalf("skewness = %g, want > 0 for positive shots", sk)
+	}
+}
+
+func TestCumulantFuncShotNumericPath(t *testing.T) {
+	fs, err := NewFuncShot("flat", func(u float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := testFlows(100, 10)
+	mf, err := NewModel(15, fs, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := NewModel(15, Rectangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf, err := mf.Cumulant(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := mr.Cumulant(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(kf, kr, 1e-6) {
+		t.Fatalf("numeric cumulant %g vs closed form %g", kf, kr)
+	}
+}
+
+func TestSpectralDensity(t *testing.T) {
+	fl := testFlows(100, 11)
+	m, err := NewModel(15, Rectangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Γ(0) = λ/(2π)·E[S²] because X̂(0) = ∫x = S.
+	var s2 float64
+	for _, f := range fl {
+		s2 += f.S * f.S
+	}
+	want := 15 / (2 * math.Pi) * s2 / float64(len(fl))
+	if got := m.SpectralDensity(0); !almostRel(got, want, 1e-3) {
+		t.Fatalf("Γ(0) = %g, want λE[S²]/2π = %g", got, want)
+	}
+	// Non-negative, decaying envelope at high frequency.
+	if g := m.SpectralDensity(100); g < 0 || g > m.SpectralDensity(0) {
+		t.Fatalf("Γ(100) = %g out of range", g)
+	}
+}
+
+func TestGaussianApproxAndDimensioning(t *testing.T) {
+	m, err := NewModel(200, Triangular, testFlows(2000, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PDF integrates to ≈1 over μ±8σ.
+	mu, sigma := m.Mean(), m.StdDev()
+	mass := simpson(m.GaussianPDF, mu-8*sigma, mu+8*sigma, 2048)
+	if !almostRel(mass, 1, 1e-6) {
+		t.Fatalf("Gaussian pdf mass = %g", mass)
+	}
+	// Bandwidth/ExceedProb round trip: P(R > C(ε)) = ε.
+	for _, eps := range []float64{0.001, 0.01, 0.05, 0.3} {
+		c, err := m.Bandwidth(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.ExceedProb(c); !almostRel(got, eps, 1e-6) {
+			t.Fatalf("ExceedProb(Bandwidth(%g)) = %g", eps, got)
+		}
+	}
+	// Smaller ε needs more capacity.
+	c1, _ := m.Bandwidth(0.01)
+	c5, _ := m.Bandwidth(0.05)
+	if c1 <= c5 {
+		t.Fatalf("C(0.01) = %g should exceed C(0.05) = %g", c1, c5)
+	}
+	// The 50% point is the mean.
+	c50, _ := m.Bandwidth(0.5)
+	if !almostRel(c50, mu, 1e-9) {
+		t.Fatalf("C(0.5) = %g, want mean %g", c50, mu)
+	}
+	if _, err := m.Bandwidth(0); err == nil {
+		t.Fatal("ε=0 should be rejected")
+	}
+	if _, err := m.Bandwidth(1); err == nil {
+		t.Fatal("ε=1 should be rejected")
+	}
+}
+
+// The §VII-A smoothing law: at fixed flow population, CoV ∝ 1/√λ.
+func TestSmoothingWithLambda(t *testing.T) {
+	fl := testFlows(1000, 13)
+	m1, err := NewModel(10, Triangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := NewModel(40, Triangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(m1.CoV()/m4.CoV(), 2, 1e-9) {
+		t.Fatalf("CoV ratio for λ×4 = %g, want 2 (1/√λ law)", m1.CoV()/m4.CoV())
+	}
+	// Mean scales linearly, σ as √λ.
+	if !almostRel(m4.Mean(), 4*m1.Mean(), 1e-12) {
+		t.Fatal("mean not linear in λ")
+	}
+	if !almostRel(m4.StdDev(), 2*m1.StdDev(), 1e-9) {
+		t.Fatal("σ not √λ")
+	}
+}
+
+func TestInputFromFlows(t *testing.T) {
+	flows := []flow.Flow{
+		{Start: 0, End: 2, Bytes: 1000, Packets: 3}, // S=8000 bits, D=2
+		{Start: 5, End: 6, Bytes: 500, Packets: 2},  // S=4000, D=1
+		{Start: 7, End: 7, Bytes: 100, Packets: 1},  // zero duration: skipped
+	}
+	in, err := InputFromFlows(flows, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(in.Samples))
+	}
+	if !almostRel(in.Lambda, 2.0/60, 1e-12) {
+		t.Fatalf("λ = %g, want 1/30", in.Lambda)
+	}
+	if !almostRel(in.MeanS, 6000, 1e-12) {
+		t.Fatalf("E[S] = %g, want 6000", in.MeanS)
+	}
+	want := (8000.0*8000/2 + 4000.0*4000/1) / 2
+	if !almostRel(in.MeanS2OverD, want, 1e-12) {
+		t.Fatalf("E[S²/D] = %g, want %g", in.MeanS2OverD, want)
+	}
+	m, err := in.Model(Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostRel(m.Mean(), in.Lambda*in.MeanS, 1e-12) {
+		t.Fatal("model from input inconsistent")
+	}
+	if _, err := InputFromFlows(flows, 0); err == nil {
+		t.Fatal("zero interval should be rejected")
+	}
+	if _, err := InputFromFlows(nil, 60); err == nil {
+		t.Fatal("no flows should error")
+	}
+}
+
+func TestFitPowerBRoundTrip(t *testing.T) {
+	fl := testFlows(2000, 14)
+	for _, b := range []float64{0, 0.5, 1, 2, 3.7} {
+		m, err := NewModel(35, PowerShot{B: b}, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := FitPowerB(m.Variance(), m.Lambda, m.MeanS2OverD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("fit reported ζ<1 for b=%g", b)
+		}
+		// Near ζ=1 the √(ζ(ζ-1)) term amplifies float eps to ~1e-8, so the
+		// absolute tolerance is looser than the relative one.
+		if !almostRel(got, b, 1e-6) && math.Abs(got-b) > 1e-6 {
+			t.Fatalf("b̂ = %g, want %g", got, b)
+		}
+	}
+}
+
+func TestFitPowerBClampsBelowBound(t *testing.T) {
+	// Measured variance below the Theorem 3 bound (averaging artefact).
+	b, ok, err := FitPowerB(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || b != 0 {
+		t.Fatalf("expected clamp to rectangular, got b=%g ok=%v", b, ok)
+	}
+	if _, _, err := FitPowerB(1, 0, 1); err == nil {
+		t.Fatal("λ=0 should be rejected")
+	}
+	if _, _, err := FitPowerB(-1, 1, 1); err == nil {
+		t.Fatal("negative variance should be rejected")
+	}
+}
+
+func TestFitShot(t *testing.T) {
+	fl := testFlows(500, 15)
+	in := Input{Lambda: 20, MeanS2OverD: 1, Samples: fl}
+	var sum float64
+	for _, f := range fl {
+		sum += f.S * f.S / f.D
+	}
+	in.MeanS2OverD = sum / float64(len(fl))
+	m, err := NewModel(20, Parabolic, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shot, ok, err := FitShot(m.Variance(), in)
+	if err != nil || !ok {
+		t.Fatalf("fit failed: %v ok=%v", err, ok)
+	}
+	if !almostRel(shot.B, 2, 1e-6) {
+		t.Fatalf("fitted b = %g, want 2", shot.B)
+	}
+}

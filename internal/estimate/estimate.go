@@ -1,0 +1,128 @@
+// Package estimate implements the paper's §V-G online estimation of the
+// three model parameters — λ, E[S], E[S²/D] — with exponentially weighted
+// moving averages. The paper proposes exactly this scheme: "when the tool
+// indicates the departure of a flow of size S, the estimate can be updated
+// as Ê ← (1-α)Ê + αS", the analogy being TCP's smoothed RTT estimator.
+//
+// A Tracker consumes completed flows (e.g. NetFlow-style expiry events) and
+// at any moment yields the model's mean, variance and coefficient of
+// variation for a chosen shot shape, without storing any per-flow state.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/stats"
+)
+
+// Tracker maintains online EWMA estimates of the model parameters.
+type Tracker struct {
+	meanS    *stats.EWMA // E[S] in bits
+	meanS2oD *stats.EWMA // E[S²/D] in bits²/s
+	gap      *stats.EWMA // mean inter-arrival of flows, for λ = 1/gap
+	lastT    float64
+	seenOne  bool
+	flows    int64
+}
+
+// NewTracker returns a tracker with EWMA gain alpha in (0, 1]. Smaller α
+// reacts more slowly to load changes (the paper's trade-off).
+func NewTracker(alpha float64) (*Tracker, error) {
+	mk := func() (*stats.EWMA, error) { return stats.NewEWMA(alpha) }
+	meanS, err := mk()
+	if err != nil {
+		return nil, fmt.Errorf("estimate: %w", err)
+	}
+	meanS2oD, _ := mk()
+	gap, _ := mk()
+	return &Tracker{meanS: meanS, meanS2oD: meanS2oD, gap: gap}, nil
+}
+
+// Observe consumes one completed flow. Flows must be reported in order of
+// their start times for the λ estimate to be meaningful (flow-export tools
+// emit approximately this order); sizes and durations have no ordering
+// requirement. Zero-duration flows are ignored (the measurement pipeline
+// discards single-packet flows anyway).
+func (t *Tracker) Observe(f flow.Flow) {
+	d := f.Duration()
+	if !(d > 0) {
+		return
+	}
+	s := f.SizeBits()
+	t.meanS.Add(s)
+	t.meanS2oD.Add(s * s / d)
+	if t.seenOne {
+		gap := f.Start - t.lastT
+		if gap >= 0 {
+			t.gap.Add(gap)
+		}
+	}
+	t.lastT = f.Start
+	t.seenOne = true
+	t.flows++
+}
+
+// Flows returns the number of flows observed.
+func (t *Tracker) Flows() int64 { return t.flows }
+
+// Lambda returns the estimated flow arrival rate (0 until two flows seen).
+func (t *Tracker) Lambda() float64 {
+	g := t.gap.Value()
+	if g <= 0 {
+		return 0
+	}
+	return 1 / g
+}
+
+// MeanS returns the estimated E[S] in bits.
+func (t *Tracker) MeanS() float64 { return t.meanS.Value() }
+
+// MeanS2OverD returns the estimated E[S²/D] in bits²/s.
+func (t *Tracker) MeanS2OverD() float64 { return t.meanS2oD.Value() }
+
+// Ready reports whether enough flows have been seen to produce estimates.
+func (t *Tracker) Ready() bool { return t.flows >= 2 && t.Lambda() > 0 }
+
+// Mean returns the model's E[R] = λ·E[S] from the current estimates.
+func (t *Tracker) Mean() (float64, error) {
+	if !t.Ready() {
+		return 0, fmt.Errorf("estimate: tracker needs at least two flows")
+	}
+	return core.MeanFromParams(t.Lambda(), t.MeanS()), nil
+}
+
+// Variance returns the model variance for the given shot exponent.
+func (t *Tracker) Variance(shot core.PowerShot) (float64, error) {
+	if !t.Ready() {
+		return 0, fmt.Errorf("estimate: tracker needs at least two flows")
+	}
+	return core.VarianceFromParams(t.Lambda(), t.MeanS2OverD(), shot), nil
+}
+
+// CoV returns the model coefficient of variation for the given shot.
+func (t *Tracker) CoV(shot core.PowerShot) (float64, error) {
+	if !t.Ready() {
+		return 0, fmt.Errorf("estimate: tracker needs at least two flows")
+	}
+	return core.CoVFromParams(t.Lambda(), t.MeanS(), t.MeanS2OverD(), shot), nil
+}
+
+// Bandwidth returns the §V-E dimensioning rule C = E[R] + z_{1-ε}·σ from
+// the current online estimates.
+func (t *Tracker) Bandwidth(epsilon float64, shot core.PowerShot) (float64, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return 0, fmt.Errorf("estimate: congestion probability must be in (0,1), got %g", epsilon)
+	}
+	mu, err := t.Mean()
+	if err != nil {
+		return 0, err
+	}
+	v, err := t.Variance(shot)
+	if err != nil {
+		return 0, err
+	}
+	return mu + stats.NormalQuantile(1-epsilon)*math.Sqrt(v), nil
+}

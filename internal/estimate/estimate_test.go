@@ -1,0 +1,204 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// syntheticFlows draws n flows with Poisson(λ) arrivals, exponential sizes
+// and derived durations.
+func syntheticFlows(n int, lambda float64, seed int64) []flow.Flow {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]flow.Flow, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / lambda
+		bytes := int64(2000 + rng.ExpFloat64()*10000)
+		rate := 1e5 * math.Exp(0.3*rng.NormFloat64())
+		d := float64(bytes) * 8 / rate
+		out[i] = flow.Flow{Start: t, End: t + d, Bytes: bytes, Packets: 5}
+	}
+	return out
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(0); err == nil {
+		t.Fatal("alpha 0 should be rejected")
+	}
+	if _, err := NewTracker(1.5); err == nil {
+		t.Fatal("alpha > 1 should be rejected")
+	}
+}
+
+func TestTrackerNotReadyInitially(t *testing.T) {
+	tr, err := NewTracker(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ready() {
+		t.Fatal("empty tracker should not be ready")
+	}
+	if _, err := tr.Mean(); err == nil {
+		t.Fatal("Mean on empty tracker should error")
+	}
+	if _, err := tr.Variance(core.Triangular); err == nil {
+		t.Fatal("Variance on empty tracker should error")
+	}
+	if _, err := tr.CoV(core.Triangular); err == nil {
+		t.Fatal("CoV on empty tracker should error")
+	}
+	tr.Observe(flow.Flow{Start: 0, End: 1, Bytes: 100, Packets: 2})
+	if tr.Ready() {
+		t.Fatal("one flow should not make the tracker ready")
+	}
+}
+
+func TestTrackerIgnoresZeroDuration(t *testing.T) {
+	tr, _ := NewTracker(0.1)
+	tr.Observe(flow.Flow{Start: 1, End: 1, Bytes: 100})
+	if tr.Flows() != 0 {
+		t.Fatal("zero-duration flow should be ignored")
+	}
+}
+
+func TestTrackerConvergesToPopulationParameters(t *testing.T) {
+	const lambda = 50.0
+	flows := syntheticFlows(40000, lambda, 1)
+	tr, err := NewTracker(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Population values from the sample itself.
+	var sumS, sumS2oD float64
+	for _, f := range flows {
+		sumS += f.SizeBits()
+		sumS2oD += f.SizeBits() * f.SizeBits() / f.Duration()
+	}
+	n := float64(len(flows))
+	for _, f := range flows {
+		tr.Observe(f)
+	}
+	if !tr.Ready() {
+		t.Fatal("tracker should be ready")
+	}
+	if got := tr.Lambda(); math.Abs(got-lambda)/lambda > 0.10 {
+		t.Fatalf("λ̂ = %g, want ≈ %g", got, lambda)
+	}
+	if got := tr.MeanS(); math.Abs(got-sumS/n)/(sumS/n) > 0.15 {
+		t.Fatalf("Ê[S] = %g, want ≈ %g", got, sumS/n)
+	}
+	// E[S²/D] is noisier (heavier tail); just require the right magnitude.
+	if got := tr.MeanS2OverD(); got < 0.3*sumS2oD/n || got > 3*sumS2oD/n {
+		t.Fatalf("Ê[S²/D] = %g, want within 3× of %g", got, sumS2oD/n)
+	}
+}
+
+func TestTrackerMatchesBatchModel(t *testing.T) {
+	flows := syntheticFlows(30000, 80, 2)
+	tr, _ := NewTracker(0.002)
+	for _, f := range flows {
+		tr.Observe(f)
+	}
+	duration := flows[len(flows)-1].Start
+	in, err := core.InputFromFlows(flows, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := in.Model(core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMean, err := tr.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotMean-m.Mean())/m.Mean() > 0.15 {
+		t.Fatalf("online mean %g vs batch %g", gotMean, m.Mean())
+	}
+	gotCoV, err := tr.CoV(core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCoV < m.CoV()/2 || gotCoV > m.CoV()*2 {
+		t.Fatalf("online CoV %g vs batch %g", gotCoV, m.CoV())
+	}
+}
+
+func TestTrackerReactsToLoadChange(t *testing.T) {
+	// Double the arrival rate mid-stream: λ̂ must move toward the new rate.
+	tr, _ := NewTracker(0.02)
+	low := syntheticFlows(5000, 20, 3)
+	for _, f := range low {
+		tr.Observe(f)
+	}
+	before := tr.Lambda()
+	// New regime: flows arriving twice as fast, starting after the old ones.
+	t0 := low[len(low)-1].Start
+	high := syntheticFlows(5000, 40, 4)
+	for _, f := range high {
+		f.Start += t0
+		f.End += t0
+		tr.Observe(f)
+	}
+	after := tr.Lambda()
+	if !(after > before*1.5) {
+		t.Fatalf("λ̂ did not track load increase: %g -> %g", before, after)
+	}
+}
+
+func TestTrackerBandwidth(t *testing.T) {
+	flows := syntheticFlows(20000, 60, 5)
+	tr, _ := NewTracker(0.005)
+	for _, f := range flows {
+		tr.Observe(f)
+	}
+	c1, err := tr.Bandwidth(0.01, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c10, err := tr.Bandwidth(0.10, core.Triangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := tr.Mean()
+	if !(c1 > c10 && c10 > mu) {
+		t.Fatalf("bandwidth ordering violated: C(1%%)=%g C(10%%)=%g mean=%g", c1, c10, mu)
+	}
+	if _, err := tr.Bandwidth(0, core.Triangular); err == nil {
+		t.Fatal("ε=0 should be rejected")
+	}
+	empty, _ := NewTracker(0.1)
+	if _, err := empty.Bandwidth(0.01, core.Triangular); err == nil {
+		t.Fatal("bandwidth on empty tracker should error")
+	}
+}
+
+func TestParamHelpersConsistency(t *testing.T) {
+	// The §V-G closed forms must agree with the full model on a population.
+	flows := syntheticFlows(5000, 30, 6)
+	duration := flows[len(flows)-1].Start
+	in, err := core.InputFromFlows(flows, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := in.Model(core.Parabolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.MeanFromParams(in.Lambda, in.MeanS); math.Abs(got-m.Mean()) > 1e-9*m.Mean() {
+		t.Fatalf("MeanFromParams %g vs model %g", got, m.Mean())
+	}
+	if got := core.VarianceFromParams(in.Lambda, in.MeanS2OverD, core.Parabolic); math.Abs(got-m.Variance()) > 1e-9*m.Variance() {
+		t.Fatalf("VarianceFromParams %g vs model %g", got, m.Variance())
+	}
+	if got := core.CoVFromParams(in.Lambda, in.MeanS, in.MeanS2OverD, core.Parabolic); math.Abs(got-m.CoV()) > 1e-9 {
+		t.Fatalf("CoVFromParams %g vs model %g", got, m.CoV())
+	}
+	if core.CoVFromParams(0, 0, 1, core.Parabolic) != 0 {
+		t.Fatal("zero-mean CoV should be 0")
+	}
+}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/mginf"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// refModel builds a model from the reference interval's 5-tuple flows.
+func (r *Runner) refModel(shot core.Shot) (*core.Model, core.Input, error) {
+	_, res5, _, err := r.RefInterval()
+	if err != nil {
+		return nil, core.Input{}, err
+	}
+	in, err := core.InputFromFlows(res5.Flows, r.specs[0].IntervalSec)
+	if err != nil {
+		return nil, core.Input{}, err
+	}
+	m, err := in.Model(shot)
+	return m, in, err
+}
+
+// AppA reproduces the §VII-A application: Gaussian link dimensioning and
+// the 1/√λ smoothing law. The dimensioning table gives the capacity needed
+// for a target congestion probability; the sweep scales λ (more customers,
+// same flow mix) and shows the CoV shrink as 1/√λ, i.e. the ISP does not
+// need to scale capacity linearly with load.
+func (r *Runner) AppA(w io.Writer) error {
+	sep(w, "Application A (§VII-A) — dimensioning & provisioning")
+	m, in, err := r.refModel(core.Parabolic)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "fitted interval: λ=%.1f flows/s, E[S]=%.1f kbit, E[S²/D]=%.3g bit²/s\n",
+		in.Lambda, in.MeanS/1e3, in.MeanS2OverD)
+	fmt.Fprintf(w, "mean rate %.2f Mb/s, σ %.2f Mb/s, CoV %.1f%%\n",
+		m.Mean()/1e6, m.StdDev()/1e6, m.CoV()*100)
+	fmt.Fprintf(w, "%12s %14s %12s\n", "congestion ε", "capacity(Mb/s)", "headroom(%)")
+	for _, eps := range []float64{0.1, 0.05, 0.01, 1e-3, 1e-4} {
+		c, err := m.Bandwidth(eps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%12.4f %14.2f %12.1f\n", eps, c/1e6, 100*(c-m.Mean())/m.Mean())
+	}
+	fmt.Fprintln(w, "\nsmoothing with load (same flow mix, λ scaled):")
+	fmt.Fprintf(w, "%8s %12s %10s %14s %16s\n",
+		"λ×", "mean(Mb/s)", "CoV(%)", "C(ε=1%)Mb/s", "C/mean (≤ linear)")
+	base := m.Lambda
+	for _, mult := range []float64{1, 2, 4, 8, 16} {
+		scaled, err := core.NewModel(base*mult, m.Shot, m.Flows)
+		if err != nil {
+			return err
+		}
+		c, err := scaled.Bandwidth(0.01)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8.0f %12.2f %10.2f %14.2f %16.3f\n",
+			mult, scaled.Mean()/1e6, scaled.CoV()*100, c/1e6, c/scaled.Mean())
+	}
+	fmt.Fprintln(w, "CoV halves per λ×4 (∝ 1/√λ): capacity can grow sub-linearly with load")
+	return nil
+}
+
+// AppC reproduces the §VII-C application: generate traffic from the fitted
+// model and verify that the generated process carries the model's first two
+// moments and correlation — and that rectangular-shot generation (the naive
+// constant-rate generator) under-estimates the variance.
+func (r *Runner) AppC(w io.Writer, seed int64) error {
+	sep(w, "Application C (§VII-C) — backbone traffic generation")
+	m, in, err := r.refModel(core.Parabolic)
+	if err != nil {
+		return err
+	}
+	duration := 4 * r.specs[0].IntervalSec
+	cfg := gen.FromModel(m, duration, 30, seed)
+	fluid, err := gen.FluidSeries(cfg, r.opts.Delta)
+	if err != nil {
+		return err
+	}
+	recs, err := gen.Packets(cfg, 500)
+	if err != nil {
+		return err
+	}
+	pktSeries, err := timeseries.Bin(recs, duration, r.opts.Delta)
+	if err != nil {
+		return err
+	}
+	modelVarDelta, err := m.AveragedVariance(r.opts.Delta)
+	if err != nil {
+		return err
+	}
+	modelCoV := math.Sqrt(modelVarDelta) / m.Mean()
+	fmt.Fprintf(w, "%-22s %12s %10s\n", "process", "mean(Mb/s)", "CoV(%)")
+	fmt.Fprintf(w, "%-22s %12.2f %10.2f\n", "model (eq.7 at Δ)", m.Mean()/1e6, modelCoV*100)
+	fmt.Fprintf(w, "%-22s %12.2f %10.2f\n", "generated fluid", fluid.Mean()/1e6, fluid.CoV()*100)
+	fmt.Fprintf(w, "%-22s %12.2f %10.2f\n", "generated packets", pktSeries.Mean()/1e6, pktSeries.CoV()*100)
+	// Naive constant-rate generation: same (S, D) but rectangular shots.
+	rectCfg := cfg
+	rectCfg.Shot = core.Rectangular
+	rect, err := gen.FluidSeries(rectCfg, r.opts.Delta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-22s %12.2f %10.2f  <- naive generator under-estimates burstiness\n",
+		"rect (naive) fluid", rect.Mean()/1e6, rect.CoV()*100)
+	// Correlation structure: generated ACF vs Theorem 2.
+	fmt.Fprintf(w, "%10s %12s %12s\n", "tau(ms)", "model ρ", "generated ρ")
+	acf := fluid.AutoCorrelation(5)
+	for k := 0; k <= 5; k++ {
+		tau := float64(k) * r.opts.Delta
+		fmt.Fprintf(w, "%10.0f %12.3f %12.3f\n", tau*1e3, m.AutoCorrelation(tau), acf[k])
+	}
+	_ = in
+	return nil
+}
+
+// AblationShots quantifies the shot-shape design choice: the variance
+// multiplier K(b) against the Theorem 3 lower bound, on the reference
+// interval's flow population.
+func (r *Runner) AblationShots(w io.Writer) error {
+	sep(w, "Ablation — shot shape vs variance (Theorem 3 ordering)")
+	_, in, err := r.refModel(core.Rectangular)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %14s %14s %10s\n", "b", "Var(bit²/s²)", "Var/bound", "K(b)")
+	var prev float64
+	for _, b := range []float64{0, 0.5, 1, 1.5, 2, 3, 4} {
+		m, err := in.Model(core.PowerShot{B: b})
+		if err != nil {
+			return err
+		}
+		v := m.Variance()
+		ratio := v / m.VarianceLowerBound()
+		fmt.Fprintf(w, "%8.1f %14.4g %14.4f %10.4f\n", b, v, ratio, core.PowerShot{B: b}.VarianceFactor())
+		if v < prev {
+			return fmt.Errorf("experiments: variance not increasing in b at %g", b)
+		}
+		prev = v
+	}
+	fmt.Fprintln(w, "rectangular (b=0) attains the Theorem 3 lower bound; variance grows with b")
+	return nil
+}
+
+// AblationBaseline compares against the constant-rate M/G/∞ baseline of the
+// paper's related work [3]: all flows at the same rate E[S]/E[D]. It
+// under-estimates the variance whenever flow rates are heterogeneous.
+func (r *Runner) AblationBaseline(w io.Writer) error {
+	sep(w, "Ablation — constant-rate M/G/∞ baseline ([3]) vs shot-noise model")
+	m, in, err := r.refModel(core.Parabolic)
+	if err != nil {
+		return err
+	}
+	var sumD float64
+	for _, f := range in.Samples {
+		sumD += f.D
+	}
+	meanD := sumD / float64(len(in.Samples))
+	meanRate := in.MeanS / meanD
+	e, err := dist.NewExponential(1 / meanD)
+	if err != nil {
+		return err
+	}
+	q, err := mginf.New(in.Lambda, e)
+	if err != nil {
+		return err
+	}
+	baselineVar := q.ConstantRateVariance(meanRate)
+	sts, err := r.Stats(flow.By5Tuple)
+	if err != nil {
+		return err
+	}
+	ref := sts[0]
+	fmt.Fprintf(w, "mean active flows (M/G/∞ load): %.1f\n", q.Load())
+	fmt.Fprintf(w, "%-34s %14s %10s\n", "model", "Var(bit²/s²)", "CoV(%)")
+	mu := m.Mean()
+	rows := []struct {
+		name string
+		v    float64
+	}{
+		{"constant-rate baseline (r=E[S]/E[D])", baselineVar},
+		{"rectangular shots (Theorem 3 bound)", m.VarianceLowerBound()},
+		{"parabolic shots (b=2)", m.Variance()},
+		{"measured (interval 0)", ref.MeasVar},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-34s %14.4g %10.2f\n", row.name, row.v, 100*math.Sqrt(row.v)/mu)
+	}
+	if !(baselineVar < m.VarianceLowerBound()) {
+		fmt.Fprintln(w, "note: baseline exceeds the heterogeneous-rate bound on this mix")
+	}
+	fmt.Fprintln(w, "the identical-rate baseline misses rate heterogeneity and under-estimates burstiness")
+	return nil
+}
+
+// AblationDelta sweeps the averaging interval Δ: eq. (7) predicts how the
+// measured variance shrinks as the rate is averaged over longer windows,
+// and the measured series must track it.
+func (r *Runner) AblationDelta(w io.Writer) error {
+	sep(w, "Ablation — averaging interval Δ vs variance (eq. 7)")
+	m, _, err := r.refModel(core.Parabolic)
+	if err != nil {
+		return err
+	}
+	recs, res5, _, err := r.RefInterval()
+	if err != nil {
+		return err
+	}
+	interval := r.specs[0].IntervalSec
+	base, err := timeseries.Bin(recs, interval, 0.05)
+	if err != nil {
+		return err
+	}
+	base.Subtract(res5.Discarded)
+	v0 := m.Variance()
+	fmt.Fprintf(w, "instantaneous model σ: %.3f Mb/s\n", math.Sqrt(v0)/1e6)
+	fmt.Fprintf(w, "%10s %16s %16s\n", "Δ(ms)", "model σ_Δ/σ", "measured σ_Δ/σ_50ms")
+	meas50 := math.Sqrt(base.Variance())
+	for _, k := range []int{1, 2, 4, 8, 16, 40, 100} {
+		delta := 0.05 * float64(k)
+		mv, err := m.AveragedVariance(delta)
+		if err != nil {
+			return err
+		}
+		down, err := base.Downsample(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%10.0f %16.4f %16.4f\n",
+			delta*1e3, math.Sqrt(mv/v0), math.Sqrt(down.Variance())/meas50)
+	}
+	fmt.Fprintln(w, "both decay with Δ; the model's eq. (7) anticipates the measured smoothing")
+	return nil
+}
+
+// AblationSplit quantifies the interval-boundary flow splitting artefact
+// (§III): flow counts and model inputs with and without splitting.
+func (r *Runner) AblationSplit(w io.Writer) error {
+	sep(w, "Ablation — interval-boundary flow splitting (§III)")
+	if err := r.measureSuite(); err != nil {
+		return err
+	}
+	spec := r.specs[0]
+	cfg := spec.Config()
+	cfg.Warmup = 60
+	recs, _, err := trace.GenerateAll(cfg)
+	if err != nil {
+		return err
+	}
+	for _, def := range []flow.Definition{flow.By5Tuple, flow.ByPrefix24} {
+		split, err := flow.MeasureIntervals(recs, def, spec.IntervalSec, flow.DefaultTimeout)
+		if err != nil {
+			return err
+		}
+		span, err := flow.MeasureSpanning(recs, def, spec.IntervalSec, flow.DefaultTimeout)
+		if err != nil {
+			return err
+		}
+		var nSplit, nSpan int
+		for _, iv := range split {
+			nSplit += len(iv.Flows)
+		}
+		for _, iv := range span {
+			nSpan += len(iv.Flows)
+		}
+		extra := nSplit - nSpan
+		cov := func(flows []flow.Flow) float64 {
+			in, err := core.InputFromFlows(flows, spec.IntervalSec)
+			if err != nil {
+				return 0
+			}
+			return core.CoVFromParams(in.Lambda, in.MeanS, in.MeanS2OverD, core.Rectangular)
+		}
+		fmt.Fprintf(w, "%s flows:\n", def)
+		fmt.Fprintf(w, "  with splitting %d, without %d => %d extra (%.1f%%)\n",
+			nSplit, nSpan, extra, 100*float64(extra)/float64(nSpan))
+		fmt.Fprintf(w, "  model CoV (rect) of interval 0: split %.2f%%, unsplit %.2f%%\n",
+			cov(split[0].Flows)*100, cov(span[0].Flows)*100)
+	}
+	fmt.Fprintln(w, "for 5-tuple flows the artefact is marginal (the paper's claim);")
+	fmt.Fprintln(w, "for prefix flows at our scaled-down intervals it is visible — long-lived")
+	fmt.Fprintln(w, "prefix aggregates span several short intervals, so the model inputs depend")
+	fmt.Fprintln(w, "on the splitting convention (the paper's 30-minute intervals hide this)")
+	return nil
+}
+
+// AblationSmoothing verifies the 1/√λ law empirically across the suite's
+// utilisation clusters: measured CoV·√(mean rate) should be roughly flat.
+func (r *Runner) AblationSmoothing(w io.Writer) error {
+	sep(w, "Ablation — smoothing across utilisation clusters (CoV ∝ 1/√λ)")
+	sts, err := r.Stats(flow.By5Tuple)
+	if err != nil {
+		return err
+	}
+	type agg struct {
+		cov, lam stats.Moments
+	}
+	byTrace := map[string]*agg{}
+	order := []string{}
+	for _, s := range sts {
+		a, ok := byTrace[s.Trace]
+		if !ok {
+			a = &agg{}
+			byTrace[s.Trace] = a
+			order = append(order, s.Trace)
+		}
+		a.cov.Add(s.MeasCoV)
+		a.lam.Add(s.Lambda)
+	}
+	fmt.Fprintf(w, "%-9s %10s %10s %16s\n", "trace", "λ̂(fl/s)", "CoV(%)", "CoV·√λ (≈const)")
+	for _, name := range order {
+		a := byTrace[name]
+		fmt.Fprintf(w, "%-9s %10.1f %10.2f %16.3f\n",
+			name, a.lam.Mean(), a.cov.Mean()*100, a.cov.Mean()*math.Sqrt(a.lam.Mean()))
+	}
+	return nil
+}
+
+// AblationLRD examines the self-similarity question of the paper's §II: a
+// Poisson shot-noise with *bounded* flow sizes/durations is short-range
+// dependent (aggregation smooths it, eq. 7 works), while heavy-tailed
+// durations push the Hurst parameter up — the Leland/Paxson mechanism the
+// paper cites. The estimator is the aggregated-variance method on the
+// measured 50 ms rate series.
+func (r *Runner) AblationLRD(w io.Writer) error {
+	sep(w, "Ablation — range dependence of the generated traffic (§II)")
+	recs, _, _, err := r.RefInterval()
+	if err != nil {
+		return err
+	}
+	interval := r.specs[0].IntervalSec
+	series, err := timeseries.Bin(recs, interval, 0.05)
+	if err != nil {
+		return err
+	}
+	h, err := stats.HurstAggregatedVariance(series.Rate, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "suite traffic (bounded Pareto sizes, α=1.3): H ≈ %.2f\n", h)
+	switch {
+	case h < 0.65:
+		fmt.Fprintln(w, "short-range dependent: rate averaging smooths the traffic freely (eq. 7)")
+	case h < 0.9:
+		fmt.Fprintln(w, "moderately bursty: the heavy-tailed flow-size body raises H above the")
+		fmt.Fprintln(w, "Poisson 0.5, but averaging still reduces variance (eq. 7 applies)")
+	default:
+		fmt.Fprintln(w, "strongly self-similar: the paper's footnote 2 caveat applies — averaging")
+		fmt.Fprintln(w, "will not reduce the burstiness and eq. 7 gives little smoothing")
+	}
+	fmt.Fprintln(w, "(heavier size tails push H toward 1, the Leland/Paxson mechanism of §II)")
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Barakat et al., IMC 2002) on the synthetic trace suite. Each
+// experiment is a method on Runner that writes the table's rows or the
+// figure's data series to an io.Writer; cmd/experiments exposes them by id
+// and bench_test.go wraps them as benchmarks. DESIGN.md §4 maps experiment
+// ids to paper artefacts.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// Options scales the experiment suite. The zero value reproduces the
+// default scaled Table I suite (100 Mb/s link, 120 s intervals).
+type Options struct {
+	Suite trace.SuiteOptions
+	// Delta is the rate averaging interval (default 0.2 s, the paper's
+	// 200 ms round-trip-time choice, §V-F).
+	Delta float64
+	// Quiet suppresses per-point output, keeping only summaries (used by
+	// benchmarks).
+	Quiet bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delta == 0 {
+		o.Delta = 0.2
+	}
+	return o
+}
+
+// IntervalStat is the measurement of one (interval, flow definition) pair —
+// one point of the paper's scatter plots.
+type IntervalStat struct {
+	Trace      string
+	TargetBps  float64
+	Index      int
+	Def        flow.Definition
+	FlowCount  int     // multi-packet flows
+	Discarded  int     // single-packet flows
+	MeasMean   float64 // bit/s
+	MeasVar    float64
+	MeasCoV    float64
+	Lambda     float64         // flows/s
+	MeanS      float64         // bits
+	MeanS2oD   float64         // bits²/s
+	ModelCoV   map[int]float64 // shot exponent b -> eq.(7)-averaged model CoV
+	FittedBRaw float64         // §V-D fit against the raw measured variance
+
+	linkBps float64 // scaled link capacity, for the utilisation classes
+}
+
+// UtilClass buckets an interval by its paper-equivalent utilisation, the
+// three marker classes of Figures 9-13 (crosses < 50 Mb/s, triangles
+// 50-125 Mb/s, dots > 125 Mb/s on the OC-12). Class boundaries scale with
+// the link so the clusters survive rescaling.
+func (s IntervalStat) UtilClass() string {
+	switch {
+	case s.TargetBps < 50e6/trace.PaperLinkBps*s.linkBps:
+		return "low(<50M-eq)"
+	case s.TargetBps < 125e6/trace.PaperLinkBps*s.linkBps:
+		return "mid(50-125M-eq)"
+	default:
+		return "high(>125M-eq)"
+	}
+}
+
+// Runner caches the generated suite so that the scatter figures, Table I
+// and Figure 11 share one measurement pass.
+type Runner struct {
+	opts  Options
+	specs []trace.TraceSpec
+
+	// Lazily computed.
+	stats     []IntervalStat
+	summaries []trace.Summary
+	// reference holds the flows and records of one designated interval
+	// (trace 1, interval 0) for the single-interval figures (1, 3-6, 8).
+	refRecs  []trace.Record
+	refRes5  flow.Result
+	refResP  flow.Result
+	measured bool
+}
+
+// NewRunner builds the scaled suite.
+func NewRunner(opts Options) (*Runner, error) {
+	o := opts.withDefaults()
+	specs, err := trace.DefaultSuite(o.Suite)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &Runner{opts: o, specs: specs}, nil
+}
+
+// Specs exposes the scaled Table I suite.
+func (r *Runner) Specs() []trace.TraceSpec { return r.specs }
+
+// Delta returns the rate averaging interval.
+func (r *Runner) Delta() float64 { return r.opts.Delta }
+
+// linkBps returns the scaled link capacity of the suite.
+func (r *Runner) linkBps() float64 {
+	if r.opts.Suite.LinkBps != 0 {
+		return r.opts.Suite.LinkBps
+	}
+	return 100e6
+}
+
+// measureSuite generates every trace, measures every interval under both
+// flow definitions and caches the per-interval statistics.
+func (r *Runner) measureSuite() error {
+	if r.measured {
+		return nil
+	}
+	link := r.linkBps()
+	for ti, spec := range r.specs {
+		cfg := spec.Config()
+		// Warm-up puts each trace in stationary regime (see trace.Config).
+		cfg.Warmup = 60
+		recs, sum, err := trace.GenerateAll(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+		}
+		r.summaries = append(r.summaries, sum)
+		for _, def := range []flow.Definition{flow.By5Tuple, flow.ByPrefix24} {
+			ivs, err := flow.MeasureIntervals(recs, def, spec.IntervalSec, flow.DefaultTimeout)
+			if err != nil {
+				return fmt.Errorf("experiments: measuring %s: %w", spec.Name, err)
+			}
+			for _, iv := range ivs {
+				stat, err := r.intervalStat(spec, iv, def, recs)
+				if err != nil {
+					continue // empty or degenerate interval: skip the point
+				}
+				stat.linkBps = link
+				r.stats = append(r.stats, stat)
+				if ti == 0 && iv.Index == 0 {
+					if def == flow.By5Tuple {
+						r.refRes5 = iv.Result
+					} else {
+						r.refResP = iv.Result
+					}
+				}
+			}
+		}
+		if ti == 0 {
+			// Keep the first interval's packets for the reference figures.
+			end := spec.IntervalSec
+			for _, rec := range recs {
+				if rec.Time >= end {
+					break
+				}
+				r.refRecs = append(r.refRecs, rec)
+			}
+		}
+	}
+	r.measured = true
+	return nil
+}
+
+// intervalStat computes one scatter point.
+func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def flow.Definition, recs []trace.Record) (IntervalStat, error) {
+	if len(iv.Flows) < 10 {
+		return IntervalStat{}, fmt.Errorf("experiments: interval too sparse")
+	}
+	lo := iv.Start
+	hi := lo + spec.IntervalSec
+	// Rebase the interval's packets and bin them.
+	var window []trace.Record
+	for _, rec := range recs {
+		if rec.Time < lo {
+			continue
+		}
+		if rec.Time >= hi {
+			break
+		}
+		rec.Time -= lo
+		window = append(window, rec)
+	}
+	series, err := timeseries.Bin(window, spec.IntervalSec, r.opts.Delta)
+	if err != nil {
+		return IntervalStat{}, err
+	}
+	series.Subtract(iv.Discarded)
+	in, err := core.InputFromFlows(iv.Flows, spec.IntervalSec)
+	if err != nil {
+		return IntervalStat{}, err
+	}
+	stat := IntervalStat{
+		Trace:     spec.Name,
+		TargetBps: spec.TargetBps,
+		Index:     iv.Index,
+		Def:       def,
+		FlowCount: len(iv.Flows),
+		Discarded: len(iv.Discarded),
+		MeasMean:  series.Mean(),
+		MeasVar:   series.Variance(),
+		MeasCoV:   series.CoV(),
+		Lambda:    in.Lambda,
+		MeanS:     in.MeanS,
+		MeanS2oD:  in.MeanS2OverD,
+		ModelCoV:  map[int]float64{},
+	}
+	for _, b := range []int{0, 1, 2} {
+		m, err := in.Model(core.PowerShot{B: float64(b)})
+		if err != nil {
+			return IntervalStat{}, err
+		}
+		v, err := m.AveragedVariance(r.opts.Delta)
+		if err != nil {
+			return IntervalStat{}, err
+		}
+		if mu := m.Mean(); mu > 0 {
+			stat.ModelCoV[b] = math.Sqrt(v) / mu
+		}
+	}
+	if b, _, err := core.FitPowerB(stat.MeasVar, in.Lambda, in.MeanS2OverD); err == nil {
+		stat.FittedBRaw = b
+	}
+	return stat, nil
+}
+
+// Stats returns all per-interval statistics for the given definition,
+// ordered by trace then interval.
+func (r *Runner) Stats(def flow.Definition) ([]IntervalStat, error) {
+	if err := r.measureSuite(); err != nil {
+		return nil, err
+	}
+	var out []IntervalStat
+	for _, s := range r.stats {
+		if s.Def == def {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Trace != out[j].Trace {
+			return out[i].Trace < out[j].Trace
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, nil
+}
+
+// RefInterval returns the designated reference interval's packets and both
+// flow measurements (trace 1, interval 0).
+func (r *Runner) RefInterval() ([]trace.Record, flow.Result, flow.Result, error) {
+	if err := r.measureSuite(); err != nil {
+		return nil, flow.Result{}, flow.Result{}, err
+	}
+	return r.refRecs, r.refRes5, r.refResP, nil
+}
+
+// Summaries returns the per-trace generator summaries.
+func (r *Runner) Summaries() ([]trace.Summary, error) {
+	if err := r.measureSuite(); err != nil {
+		return nil, err
+	}
+	return r.summaries, nil
+}
+
+// sep prints a section separator.
+func sep(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

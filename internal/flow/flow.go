@@ -1,0 +1,343 @@
+// Package flow implements the paper's flow-measurement methodology (§III):
+// packets are grouped into flows by one of two definitions — the 5-tuple or
+// the destination /24 address prefix — a flow ends when no packet arrives
+// for a 60 s timeout, single-packet flows are discarded (their duration
+// would be zero) and their packets excluded from the measured total rate,
+// and flows are split at analysis-interval boundaries.
+//
+// The assembler consumes packets in timestamp order (what a passive monitor
+// sees) and runs in O(active flows) memory, evicting idle flows with a
+// periodic sweep, so multi-hour traces stream through it.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netpkt"
+	"repro/internal/trace"
+)
+
+// DefaultTimeout is the paper's flow-termination timeout.
+const DefaultTimeout = 60.0
+
+// Definition selects how packets are grouped into flows.
+type Definition int
+
+// The flow definitions of §III, plus the /16 and /8 "routable prefix"
+// extensions the paper proposes in §VI-A.
+const (
+	By5Tuple Definition = iota
+	ByPrefix24
+	ByPrefix16
+	ByPrefix8
+)
+
+// String names the definition for reports.
+func (d Definition) String() string {
+	switch d {
+	case By5Tuple:
+		return "5-tuple"
+	case ByPrefix24:
+		return "/24 prefix"
+	case ByPrefix16:
+		return "/16 prefix"
+	case ByPrefix8:
+		return "/8 prefix"
+	default:
+		return fmt.Sprintf("Definition(%d)", int(d))
+	}
+}
+
+// Flow is one completed flow: the quantities (T_n, S_n, D_n) of the model.
+type Flow struct {
+	Start   float64 // arrival time T_n of the first packet (seconds)
+	End     float64 // time of the last packet
+	Bytes   int64   // size in bytes
+	Packets int     // packet count
+}
+
+// Duration returns D_n: the time between first and last packet.
+func (f Flow) Duration() float64 { return f.End - f.Start }
+
+// SizeBits returns S_n in bits, the unit the model uses.
+func (f Flow) SizeBits() float64 { return float64(f.Bytes) * 8 }
+
+// DiscardedPacket records a packet excluded from the measured rate because
+// it formed a single-packet flow.
+type DiscardedPacket struct {
+	Time float64
+	Bits float64
+}
+
+// Result is the output of measuring one packet sequence.
+type Result struct {
+	// Flows holds completed multi-packet flows, ordered by completion.
+	Flows []Flow
+	// Discarded lists the packets of single-packet flows; the paper
+	// excludes them from the variance of the measured total rate.
+	Discarded []DiscardedPacket
+}
+
+// flowState is an in-progress flow.
+type flowState struct {
+	start   float64
+	last    float64
+	bytes   int64
+	packets int
+	// firstBits remembers the only packet's size while packets == 1, so a
+	// flow that never grows can be reported as a discarded packet.
+	firstBits float64
+}
+
+// Assembler groups packets of one key type K into flows.
+type Assembler[K comparable] struct {
+	keyFn     func(*netpkt.Header) K
+	timeout   float64
+	active    map[K]*flowState
+	res       Result
+	lastSweep float64
+	lastTime  float64
+	started   bool
+}
+
+// NewAssembler returns a streaming assembler. keyFn extracts the flow key;
+// timeout must be positive (use DefaultTimeout for the paper's 60 s).
+func NewAssembler[K comparable](keyFn func(*netpkt.Header) K, timeout float64) (*Assembler[K], error) {
+	if keyFn == nil {
+		return nil, fmt.Errorf("flow: nil key function")
+	}
+	if !(timeout > 0) {
+		return nil, fmt.Errorf("flow: timeout must be > 0, got %g", timeout)
+	}
+	return &Assembler[K]{
+		keyFn:   keyFn,
+		timeout: timeout,
+		active:  make(map[K]*flowState),
+	}, nil
+}
+
+// Add consumes one packet. Packets must arrive in non-decreasing time order.
+func (a *Assembler[K]) Add(rec trace.Record) error {
+	if a.started && rec.Time < a.lastTime {
+		return fmt.Errorf("flow: packet out of order: %g after %g", rec.Time, a.lastTime)
+	}
+	a.started = true
+	a.lastTime = rec.Time
+	key := a.keyFn(&rec.Hdr)
+	bits := rec.Bits()
+	st, ok := a.active[key]
+	if ok && rec.Time-st.last > a.timeout {
+		// The previous flow on this key timed out; finalise it and start a
+		// fresh flow with this packet.
+		a.finish(st)
+		ok = false
+	}
+	if !ok {
+		a.active[key] = &flowState{
+			start: rec.Time, last: rec.Time,
+			bytes: int64(rec.Hdr.TotalLen), packets: 1,
+			firstBits: bits,
+		}
+	} else {
+		st.last = rec.Time
+		st.bytes += int64(rec.Hdr.TotalLen)
+		st.packets++
+	}
+	// Periodic sweep: evict flows idle past the timeout so memory stays
+	// bounded by the number of genuinely active flows.
+	if rec.Time-a.lastSweep > a.timeout {
+		a.sweep(rec.Time)
+		a.lastSweep = rec.Time
+	}
+	return nil
+}
+
+func (a *Assembler[K]) sweep(now float64) {
+	for k, st := range a.active {
+		if now-st.last > a.timeout {
+			a.finish(st)
+			delete(a.active, k)
+		}
+	}
+}
+
+func (a *Assembler[K]) finish(st *flowState) {
+	if st.packets == 1 {
+		a.res.Discarded = append(a.res.Discarded, DiscardedPacket{Time: st.start, Bits: st.firstBits})
+		return
+	}
+	a.res.Flows = append(a.res.Flows, Flow{
+		Start:   st.start,
+		End:     st.last,
+		Bytes:   st.bytes,
+		Packets: st.packets,
+	})
+}
+
+// ActiveFlows returns the number of in-progress flows (the N(t) of the
+// M/G/∞ view, §V-A, sampled at the last packet time).
+func (a *Assembler[K]) ActiveFlows() int { return len(a.active) }
+
+// Flush finalises all in-progress flows (end of trace or of an analysis
+// interval — the paper's boundary splitting) and returns the result.
+// The assembler can keep consuming packets afterwards; flows that continue
+// past a flush are counted again from the flush point, exactly like the
+// paper's split flows.
+//
+// Flows and discarded packets are returned sorted by start time (ties
+// broken on end time and size): flow eviction walks Go maps, whose order
+// varies between runs, and downstream statistics must be reproducible.
+func (a *Assembler[K]) Flush() Result {
+	for k, st := range a.active {
+		a.finish(st)
+		delete(a.active, k)
+	}
+	out := a.res
+	a.res = Result{}
+	sort.Slice(out.Flows, func(i, j int) bool {
+		fi, fj := out.Flows[i], out.Flows[j]
+		if fi.Start != fj.Start {
+			return fi.Start < fj.Start
+		}
+		if fi.End != fj.End {
+			return fi.End < fj.End
+		}
+		return fi.Bytes < fj.Bytes
+	})
+	sort.Slice(out.Discarded, func(i, j int) bool {
+		di, dj := out.Discarded[i], out.Discarded[j]
+		if di.Time != dj.Time {
+			return di.Time < dj.Time
+		}
+		return di.Bits < dj.Bits
+	})
+	return out
+}
+
+// keyFuncs maps a Definition to its extractor. Using dedicated comparable
+// key types (not strings) keeps the hot path allocation-free.
+func measureByDef(recs []trace.Record, def Definition, timeout float64) (Result, error) {
+	switch def {
+	case By5Tuple:
+		return measure(recs, (*netpkt.Header).Key5Tuple, timeout)
+	case ByPrefix24:
+		return measure(recs, (*netpkt.Header).KeyPrefix, timeout)
+	case ByPrefix16:
+		return measure(recs, func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(16) }, timeout)
+	case ByPrefix8:
+		return measure(recs, func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(8) }, timeout)
+	default:
+		return Result{}, fmt.Errorf("flow: unknown definition %d", int(def))
+	}
+}
+
+func measure[K comparable](recs []trace.Record, keyFn func(*netpkt.Header) K, timeout float64) (Result, error) {
+	a, err := NewAssembler(keyFn, timeout)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range recs {
+		if err := a.Add(recs[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	return a.Flush(), nil
+}
+
+// Measure groups recs (time-ordered) into flows under the given definition
+// with the given timeout (use DefaultTimeout for the paper's 60 s).
+func Measure(recs []trace.Record, def Definition, timeout float64) (Result, error) {
+	return measureByDef(recs, def, timeout)
+}
+
+// IntervalResult is the measurement of one analysis interval.
+type IntervalResult struct {
+	Index int
+	Start float64 // interval start time within the trace
+	Result
+}
+
+// MeasureIntervals divides recs into consecutive intervals of intervalSec
+// and measures each independently, splitting flows at boundaries exactly as
+// the paper does ("flows that belong to 30 minutes intervals are split over
+// the intervals they overlap"). Flow Start/End times are relative to the
+// interval start, matching the per-interval analysis of §VI.
+func MeasureIntervals(recs []trace.Record, def Definition, intervalSec, timeout float64) ([]IntervalResult, error) {
+	if !(intervalSec > 0) {
+		return nil, fmt.Errorf("flow: interval must be > 0, got %g", intervalSec)
+	}
+	var out []IntervalResult
+	i := 0
+	for idx := 0; i < len(recs); idx++ {
+		lo := float64(idx) * intervalSec
+		hi := lo + intervalSec
+		j := i
+		for j < len(recs) && recs[j].Time < hi {
+			j++
+		}
+		if j == i {
+			// Empty interval: still emit it so interval indices align with
+			// wall-clock position (a dead link is data, not a gap).
+			out = append(out, IntervalResult{Index: idx, Start: lo})
+			continue
+		}
+		// Rebase times onto the interval origin.
+		window := make([]trace.Record, j-i)
+		copy(window, recs[i:j])
+		for k := range window {
+			window[k].Time -= lo
+		}
+		res, err := measureByDef(window, def, timeout)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IntervalResult{Index: idx, Start: lo, Result: res})
+		i = j
+	}
+	return out, nil
+}
+
+// MeasureSpanning measures flows without boundary splitting (one assembler
+// across the whole trace) and assigns each flow to the interval containing
+// its start. This is the ablation counterpart of MeasureIntervals used to
+// quantify the splitting artefact the paper argues is marginal (§III, §VI).
+func MeasureSpanning(recs []trace.Record, def Definition, intervalSec, timeout float64) ([]IntervalResult, error) {
+	if !(intervalSec > 0) {
+		return nil, fmt.Errorf("flow: interval must be > 0, got %g", intervalSec)
+	}
+	whole, err := measureByDef(recs, def, timeout)
+	if err != nil {
+		return nil, err
+	}
+	maxIdx := 0
+	if len(recs) > 0 {
+		maxIdx = int(recs[len(recs)-1].Time / intervalSec)
+	}
+	out := make([]IntervalResult, maxIdx+1)
+	for i := range out {
+		out[i] = IntervalResult{Index: i, Start: float64(i) * intervalSec}
+	}
+	assign := func(t float64) int {
+		idx := int(t / intervalSec)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > maxIdx {
+			idx = maxIdx
+		}
+		return idx
+	}
+	for _, f := range whole.Flows {
+		idx := assign(f.Start)
+		f.Start -= out[idx].Start
+		f.End -= out[idx].Start
+		out[idx].Flows = append(out[idx].Flows, f)
+	}
+	for _, d := range whole.Discarded {
+		idx := assign(d.Time)
+		d.Time -= out[idx].Start
+		out[idx].Discarded = append(out[idx].Discarded, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package linalg provides the small dense linear-algebra kernels the traffic
+// predictor needs: a symmetric-Toeplitz solver (Levinson-Durbin recursion)
+// for the Wiener-Hopf normal equations of the paper's §VII-B (eq. 8), and a
+// general Gaussian-elimination solver used as a cross-check and for
+// non-Toeplitz systems.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a system has no stable solution.
+var ErrSingular = errors.New("linalg: singular or near-singular system")
+
+// SolveToeplitz solves the symmetric Toeplitz system T a = b where
+// T[i][j] = r[|i-j|], using the Levinson recursion in O(n²) time.
+// r must have length n (first column of T) and b length n.
+//
+// For the predictor, r is the autocorrelation sequence ρ(0..M-1) and
+// b is ρ(1..M), so that a holds the optimal MA prediction coefficients.
+func SolveToeplitz(r, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(r) != n {
+		return nil, fmt.Errorf("linalg: toeplitz dimension mismatch: len(r)=%d len(b)=%d", len(r), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if r[0] == 0 || math.IsNaN(r[0]) {
+		return nil, ErrSingular
+	}
+
+	// Levinson recursion with forward vectors (symmetric case: the backward
+	// vector is the reverse of the forward vector).
+	x := make([]float64, n) // current solution of T_k x = b[:k]
+	f := make([]float64, n) // forward vector: T_k f = e_1
+	x[0] = b[0] / r[0]
+	f[0] = 1 / r[0]
+
+	fPrev := make([]float64, n)
+	for k := 1; k < n; k++ {
+		// Forward error: ef = sum_{i} r[k-i] f[i] over the previous order.
+		var ef float64
+		for i := 0; i < k; i++ {
+			ef += r[k-i] * f[i]
+		}
+		denom := 1 - ef*ef
+		if math.Abs(denom) < 1e-14 {
+			return nil, ErrSingular
+		}
+		copy(fPrev[:k], f[:k])
+		// New forward vector of order k+1.
+		for i := 0; i <= k; i++ {
+			var prev, prevRev float64
+			if i < k {
+				prev = fPrev[i]
+			}
+			if i > 0 {
+				prevRev = fPrev[k-i]
+			}
+			f[i] = (prev - ef*prevRev) / denom
+		}
+		// Update the solution: ex = sum_i r[k-i] x[i].
+		var ex float64
+		for i := 0; i < k; i++ {
+			ex += r[k-i] * x[i]
+		}
+		scale := b[k] - ex
+		for i := 0; i <= k; i++ {
+			// backward vector element i = f[k-i] (symmetry).
+			x[i] += scale * f[k-i]
+		}
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// SolveDense solves the general linear system A x = b by Gaussian
+// elimination with partial pivoting. A is row-major and is not modified.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n {
+		return nil, fmt.Errorf("linalg: dense dimension mismatch: %d rows, %d rhs", len(a), n)
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-13 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		x[col], x[piv] = x[piv], x[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// ToeplitzMatrix expands the first-column r into the full symmetric Toeplitz
+// matrix T[i][j] = r[|i-j|]. Used by tests and by SolveDense fall-backs.
+func ToeplitzMatrix(r []float64) [][]float64 {
+	n := len(r)
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+		for j := range t[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			t[i][j] = r[d]
+		}
+	}
+	return t
+}
+
+// MatVec returns A x for a row-major dense matrix.
+func MatVec(a [][]float64, x []float64) ([]float64, error) {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		if len(row) != len(x) {
+			return nil, fmt.Errorf("linalg: matvec row %d has %d columns, want %d", i, len(row), len(x))
+		}
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

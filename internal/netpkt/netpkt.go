@@ -1,0 +1,226 @@
+// Package netpkt encodes and decodes the packet headers that the paper's
+// monitoring infrastructure records: every packet on the tapped OC-12 links
+// is timestamped and its first 44 bytes are kept, enough for the IPv4 header
+// plus the TCP/UDP ports. This package is a stdlib-only, allocation-free
+// equivalent of the slice of gopacket the measurement pipeline needs:
+// IPv4/TCP/UDP header marshalling, the 5-tuple flow key, and destination
+// /24-prefix keys (the paper's two flow definitions, §III).
+package netpkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers (IANA).
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// HeaderLen is the number of bytes recorded per packet, matching the paper's
+// 44-byte capture: a 20-byte IPv4 header followed by the first 24 bytes of
+// the transport header (enough for TCP's fixed header, padded for UDP).
+const HeaderLen = 44
+
+// ipv4HeaderLen is the length of an option-less IPv4 header.
+const ipv4HeaderLen = 20
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated   = errors.New("netpkt: truncated header")
+	ErrNotIPv4     = errors.New("netpkt: not an IPv4 packet")
+	ErrBadIHL      = errors.New("netpkt: bad IPv4 header length")
+	ErrUnsupported = errors.New("netpkt: unsupported transport protocol")
+)
+
+// IPv4Addr is an IPv4 address in wire order. A fixed array keeps flow keys
+// comparable and hashable without allocation (the same trade-off gopacket
+// makes for Endpoint).
+type IPv4Addr [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (a IPv4Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// AddrFromUint32 builds an address from a big-endian integer.
+func AddrFromUint32(v uint32) IPv4Addr {
+	var a IPv4Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// Prefix24 returns the /24 prefix of the address (last octet zeroed).
+func (a IPv4Addr) Prefix24() IPv4Addr {
+	a[3] = 0
+	return a
+}
+
+// PrefixN returns the address masked to the first n bits (0 ≤ n ≤ 32).
+// The paper suggests routable-prefix aggregation (e.g. /8, /16) as an
+// extension of the /24 flow definition.
+func (a IPv4Addr) PrefixN(n int) IPv4Addr {
+	if n <= 0 {
+		return IPv4Addr{}
+	}
+	if n >= 32 {
+		return a
+	}
+	v := a.Uint32() &^ (1<<(32-uint(n)) - 1)
+	return AddrFromUint32(v)
+}
+
+// Header is the decoded view of a 44-byte packet record.
+type Header struct {
+	SrcIP    IPv4Addr
+	DstIP    IPv4Addr
+	Protocol uint8
+	SrcPort  uint16
+	DstPort  uint16
+	// TotalLen is the IPv4 total length field: header plus payload bytes.
+	// Flow sizes in the paper are measured in bytes on the wire, so this is
+	// the per-packet contribution to a flow's size S.
+	TotalLen uint16
+	// TTL is kept because anomaly detection (e.g. DoS fingerprinting) can
+	// use its distribution.
+	TTL uint8
+}
+
+// FlowKey is the paper's first flow definition: the 5-tuple
+// (src IP, dst IP, src port, dst port, protocol). Comparable, so it can key
+// a map directly.
+type FlowKey struct {
+	SrcIP    IPv4Addr
+	DstIP    IPv4Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Protocol uint8
+}
+
+// String formats the key in the usual a:p -> b:q/proto notation.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Protocol)
+}
+
+// PrefixKey is the paper's second flow definition: the destination /24
+// address prefix.
+type PrefixKey struct {
+	DstPrefix IPv4Addr
+}
+
+// String formats the key as CIDR.
+func (k PrefixKey) String() string { return k.DstPrefix.String() + "/24" }
+
+// Key5Tuple returns the 5-tuple flow key for a decoded header.
+func (h *Header) Key5Tuple() FlowKey {
+	return FlowKey{
+		SrcIP:    h.SrcIP,
+		DstIP:    h.DstIP,
+		SrcPort:  h.SrcPort,
+		DstPort:  h.DstPort,
+		Protocol: h.Protocol,
+	}
+}
+
+// KeyPrefix returns the destination /24 prefix key for a decoded header.
+func (h *Header) KeyPrefix() PrefixKey {
+	return PrefixKey{DstPrefix: h.DstIP.Prefix24()}
+}
+
+// Marshal encodes the header into buf, which must be at least HeaderLen
+// bytes, and returns the number of bytes written (always HeaderLen).
+// The layout is a valid option-less IPv4 header followed by the transport
+// ports at their on-wire offsets; remaining transport bytes are zero.
+func (h *Header) Marshal(buf []byte) (int, error) {
+	if len(buf) < HeaderLen {
+		return 0, fmt.Errorf("netpkt: marshal buffer too small: %d < %d", len(buf), HeaderLen)
+	}
+	for i := 0; i < HeaderLen; i++ {
+		buf[i] = 0
+	}
+	buf[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(buf[2:4], h.TotalLen)
+	buf[8] = h.TTL
+	buf[9] = h.Protocol
+	copy(buf[12:16], h.SrcIP[:])
+	copy(buf[16:20], h.DstIP[:])
+	binary.BigEndian.PutUint16(buf[20:22], h.SrcPort)
+	binary.BigEndian.PutUint16(buf[22:24], h.DstPort)
+	// IPv4 header checksum over the first 20 bytes.
+	binary.BigEndian.PutUint16(buf[10:12], ipChecksum(buf[:ipv4HeaderLen]))
+	return HeaderLen, nil
+}
+
+// Unmarshal decodes a packet record. buf must hold at least the IPv4 header
+// and the transport ports; full 44-byte records always qualify. The IPv4
+// checksum is not verified (the capture hardware already did), but version
+// and IHL are.
+func (h *Header) Unmarshal(buf []byte) error {
+	if len(buf) < ipv4HeaderLen {
+		return ErrTruncated
+	}
+	if buf[0]>>4 != 4 {
+		return ErrNotIPv4
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen {
+		return ErrBadIHL
+	}
+	h.TotalLen = binary.BigEndian.Uint16(buf[2:4])
+	h.TTL = buf[8]
+	h.Protocol = buf[9]
+	copy(h.SrcIP[:], buf[12:16])
+	copy(h.DstIP[:], buf[16:20])
+	h.SrcPort, h.DstPort = 0, 0
+	switch h.Protocol {
+	case ProtoTCP, ProtoUDP:
+		if len(buf) < ihl+4 {
+			return ErrTruncated
+		}
+		h.SrcPort = binary.BigEndian.Uint16(buf[ihl : ihl+2])
+		h.DstPort = binary.BigEndian.Uint16(buf[ihl+2 : ihl+4])
+	default:
+		// Other protocols (ICMP, GRE, ...) are still valid flows at the
+		// prefix level; ports stay zero so the 5-tuple degenerates to the
+		// (src, dst, proto) triple, matching what NetFlow does.
+	}
+	return nil
+}
+
+// ipChecksum computes the standard Internet checksum of b (whose checksum
+// field must be zero).
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// ValidateChecksum reports whether the IPv4 header checksum in an encoded
+// record is correct. Used by tests and by the pcap importer to reject
+// corrupt records.
+func ValidateChecksum(buf []byte) bool {
+	if len(buf) < ipv4HeaderLen {
+		return false
+	}
+	var sum uint32
+	for i := 0; i < ipv4HeaderLen; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(buf[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return uint16(sum) == 0xffff
+}

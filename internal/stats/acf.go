@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// AutoCovariance returns the empirical auto-covariance of xs at lags
+// 0..maxLag (inclusive): c[k] = (1/n) Σ_{t=0}^{n-1-k} (x_t - x̄)(x_{t+k} - x̄).
+//
+// The 1/n normalisation (rather than 1/(n-k)) is the standard choice for
+// correlogram analysis: it guarantees a positive semi-definite sequence, which
+// the predictor's normal equations (paper eq. 8) rely on.
+func AutoCovariance(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	c := make([]float64, maxLag+1)
+	if n == 0 {
+		return c
+	}
+	m := Mean(xs)
+	for k := 0; k <= maxLag && k < n; k++ {
+		var s float64
+		for t := 0; t+k < n; t++ {
+			s += (xs[t] - m) * (xs[t+k] - m)
+		}
+		c[k] = s / float64(n)
+	}
+	return c
+}
+
+// AutoCorrelation returns the empirical autocorrelation coefficients of xs at
+// lags 0..maxLag: r[k] = c[k]/c[0]. r[0] is always 1 for non-degenerate
+// samples; a constant series yields all zeros past lag 0.
+//
+// This is the statistic plotted in the paper's Figures 3-6 (inter-arrival
+// times, flow sizes, flow durations) and Figure 8 (total rate).
+func AutoCorrelation(xs []float64, maxLag int) []float64 {
+	c := AutoCovariance(xs, maxLag)
+	r := make([]float64, len(c))
+	if c[0] == 0 {
+		if len(r) > 0 && len(xs) > 0 {
+			r[0] = 1
+		}
+		return r
+	}
+	for k := range c {
+		r[k] = c[k] / c[0]
+	}
+	return r
+}
+
+// CrossCorrelation returns the zero-lag Pearson correlation coefficient of xs
+// and ys (truncated to the shorter length). Used to verify that sizes and
+// durations of the same flow are correlated while the sequences {S_n} and
+// {D_n} are serially uncorrelated (paper §IV, Assumption 2 discussion).
+func CrossCorrelation(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	xs, ys = xs[:n], ys[:n]
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}

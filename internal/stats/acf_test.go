@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutoCorrelationLagZeroIsOne(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3, 9, 1}
+	r := AutoCorrelation(xs, 3)
+	if r[0] != 1 {
+		t.Fatalf("r[0] = %g, want 1", r[0])
+	}
+}
+
+func TestAutoCorrelationConstantSeries(t *testing.T) {
+	xs := []float64{4, 4, 4, 4, 4}
+	r := AutoCorrelation(xs, 3)
+	if r[0] != 1 {
+		t.Fatalf("r[0] = %g, want 1 for degenerate series", r[0])
+	}
+	for k := 1; k < len(r); k++ {
+		if r[k] != 0 {
+			t.Fatalf("r[%d] = %g, want 0 for constant series", k, r[k])
+		}
+	}
+}
+
+func TestAutoCorrelationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	r := AutoCorrelation(xs, 20)
+	for k, v := range r {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("r[%d] = %g out of [-1,1]", k, v)
+		}
+	}
+}
+
+// iid noise should decorrelate: |r[k]| = O(1/sqrt(n)) for k >= 1.
+func TestAutoCorrelationIIDDropsToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	r := AutoCorrelation(xs, 10)
+	bound := 5 / math.Sqrt(float64(n))
+	for k := 1; k <= 10; k++ {
+		if math.Abs(r[k]) > bound {
+			t.Fatalf("iid series r[%d] = %g, want |r| < %g", k, r[k], bound)
+		}
+	}
+}
+
+// An AR(1) process x_t = phi x_{t-1} + e_t has r[k] ≈ phi^k.
+func TestAutoCorrelationAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const phi = 0.8
+	n := 100000
+	xs := make([]float64, n)
+	for i := 1; i < n; i++ {
+		xs[i] = phi*xs[i-1] + rng.NormFloat64()
+	}
+	r := AutoCorrelation(xs, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(r[k]-want) > 0.03 {
+			t.Fatalf("AR(1) r[%d] = %g, want ≈ %g", k, r[k], want)
+		}
+	}
+}
+
+func TestAutoCovarianceMatchesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+	}
+	c := AutoCovariance(xs, 0)
+	if want := PopVariance(xs); !almostEqual(c[0], want, 1e-9) {
+		t.Fatalf("c[0] = %g, want population variance %g", c[0], want)
+	}
+}
+
+func TestAutoCovarianceEmptyAndShort(t *testing.T) {
+	c := AutoCovariance(nil, 5)
+	if len(c) != 6 {
+		t.Fatalf("len = %d, want 6", len(c))
+	}
+	for _, v := range c {
+		if v != 0 {
+			t.Fatalf("expected zeros for empty input, got %v", c)
+		}
+	}
+	// Lags beyond series length must be zero, not panic.
+	c = AutoCovariance([]float64{1, 2}, 10)
+	for k := 2; k < len(c); k++ {
+		if c[k] != 0 {
+			t.Fatalf("c[%d] = %g, want 0 beyond series length", k, c[k])
+		}
+	}
+}
+
+func TestCrossCorrelationPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := CrossCorrelation(xs, xs); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("self-correlation = %g, want 1", got)
+	}
+	neg := []float64{-1, -2, -3, -4, -5}
+	if got := CrossCorrelation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("anti-correlation = %g, want -1", got)
+	}
+}
+
+func TestCrossCorrelationDegenerate(t *testing.T) {
+	if got := CrossCorrelation([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("single point = %g, want 0", got)
+	}
+	if got := CrossCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant x = %g, want 0", got)
+	}
+}

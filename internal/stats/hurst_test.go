@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHurstIIDNoiseIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1<<15)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, err := HurstAggregatedVariance(xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.5) > 0.07 {
+		t.Fatalf("iid noise H = %g, want ≈ 0.5", h)
+	}
+}
+
+func TestHurstAR1StillShortRange(t *testing.T) {
+	// AR(1) has exponentially decaying correlation: asymptotically H = 0.5
+	// even though short lags are correlated.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1<<16)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.7*xs[i-1] + rng.NormFloat64()
+	}
+	h, err := HurstAggregatedVariance(xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h > 0.72 {
+		t.Fatalf("AR(1) H = %g, want well below LRD range", h)
+	}
+}
+
+func TestHurstLongRangeDependent(t *testing.T) {
+	// Superpose many heavy-tailed on/off renewal sources (the Leland et
+	// al. construction the paper's §II cites): the aggregate is LRD and
+	// the estimator must report H clearly above 0.5.
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 15
+	xs := make([]float64, n)
+	for src := 0; src < 60; src++ {
+		pos := 0
+		on := src%2 == 0
+		for pos < n {
+			// Pareto(α=1.4) sojourn lengths: infinite variance.
+			u := rng.Float64()
+			length := int(3 * math.Pow(1-u, -1/1.4))
+			if length < 1 {
+				length = 1
+			}
+			if on {
+				for j := pos; j < pos+length && j < n; j++ {
+					xs[j]++
+				}
+			}
+			pos += length
+			on = !on
+		}
+	}
+	h, err := HurstAggregatedVariance(xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 {
+		t.Fatalf("heavy-tailed on/off aggregate H = %g, want > 0.7 (LRD)", h)
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	if _, err := HurstAggregatedVariance(make([]float64, 10), 8); err == nil {
+		t.Fatal("short series should be rejected")
+	}
+	constant := make([]float64, 4096)
+	if _, err := HurstAggregatedVariance(constant, 8); err == nil {
+		t.Fatal("constant series should be rejected (no variance levels)")
+	}
+}
+
+func TestSlope(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9}
+	s, err := slope(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-12 {
+		t.Fatalf("slope = %g, want 2", s)
+	}
+	if _, err := slope([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point should be rejected")
+	}
+	if _, err := slope([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("degenerate x should be rejected")
+	}
+}

@@ -1,0 +1,143 @@
+// Package timeseries turns a packet stream into the measured total-rate
+// process of the paper's §V-F: the volume of data crossing the link is
+// averaged over consecutive intervals of length Δ (the paper uses 200 ms,
+// the average round-trip time), yielding a piecewise-constant rate series
+// whose first two moments are compared against the model.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Series is a measured rate process: Rate[k] is the average rate in bit/s
+// over [k·Delta, (k+1)·Delta).
+type Series struct {
+	Delta float64
+	Rate  []float64
+}
+
+// Bin averages the packet volumes of recs over bins of length delta across
+// [0, duration). Packets outside the window are ignored. Bin boundaries use
+// the convention t ∈ [kΔ, (k+1)Δ).
+func Bin(recs []trace.Record, duration, delta float64) (Series, error) {
+	if !(delta > 0) {
+		return Series{}, fmt.Errorf("timeseries: delta must be > 0, got %g", delta)
+	}
+	if !(duration > 0) {
+		return Series{}, fmt.Errorf("timeseries: duration must be > 0, got %g", duration)
+	}
+	n := int(duration / delta)
+	if n == 0 {
+		return Series{}, fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
+	}
+	bits := make([]float64, n)
+	for i := range recs {
+		t := recs[i].Time
+		if t < 0 || t >= duration {
+			continue
+		}
+		k := int(t / delta)
+		if k >= n { // guard the t == duration-ε float edge
+			k = n - 1
+		}
+		bits[k] += recs[i].Bits()
+	}
+	for k := range bits {
+		bits[k] /= delta
+	}
+	return Series{Delta: delta, Rate: bits}, nil
+}
+
+// Subtract removes the given discarded packets (single-packet flows, which
+// the paper excludes from the measured variance) from the series in place.
+func (s Series) Subtract(pkts []flow.DiscardedPacket) {
+	n := len(s.Rate)
+	for _, p := range pkts {
+		if p.Time < 0 {
+			continue
+		}
+		k := int(p.Time / s.Delta)
+		if k >= n {
+			continue
+		}
+		s.Rate[k] -= p.Bits / s.Delta
+		if s.Rate[k] < 0 {
+			s.Rate[k] = 0
+		}
+	}
+}
+
+// Mean returns the time-average rate in bit/s.
+func (s Series) Mean() float64 { return stats.Mean(s.Rate) }
+
+// Variance returns the sample variance of the binned rate, the σ̂_Δ² the
+// model's Corollary 2 is validated against.
+func (s Series) Variance() float64 { return stats.Variance(s.Rate) }
+
+// CoV returns the coefficient of variation σ̂/μ̂ (the y/x axes of the
+// paper's Figures 9, 10, 12, 13 are this quantity in percent).
+func (s Series) CoV() float64 { return stats.CoV(s.Rate) }
+
+// AutoCorrelation returns the empirical autocorrelation of the rate at lags
+// 0..maxLag bins.
+func (s Series) AutoCorrelation(maxLag int) []float64 {
+	return stats.AutoCorrelation(s.Rate, maxLag)
+}
+
+// Downsample returns a series with bins of k·Delta, averaging groups of k
+// consecutive bins (any remainder bins are dropped). The predictor samples
+// the rate at multi-second periods this way without re-binning packets.
+func (s Series) Downsample(k int) (Series, error) {
+	if k <= 0 {
+		return Series{}, fmt.Errorf("timeseries: downsample factor must be > 0, got %d", k)
+	}
+	if k == 1 {
+		return Series{Delta: s.Delta, Rate: append([]float64(nil), s.Rate...)}, nil
+	}
+	n := len(s.Rate) / k
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < k; j++ {
+			sum += s.Rate[i*k+j]
+		}
+		out[i] = sum / float64(k)
+	}
+	return Series{Delta: s.Delta * float64(k), Rate: out}, nil
+}
+
+// ActiveFlowSeries counts, for each bin of length delta over [0, duration),
+// the number of flows active at the bin's start (a flow is active at t when
+// Start ≤ t < End). This is the N(t) process of the M/G/∞ view (§V-A),
+// used by the paper's second family of predictors.
+func ActiveFlowSeries(flows []flow.Flow, duration, delta float64) (Series, error) {
+	if !(delta > 0) || !(duration > 0) {
+		return Series{}, fmt.Errorf("timeseries: need positive delta and duration")
+	}
+	n := int(duration / delta)
+	if n == 0 {
+		return Series{}, fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
+	}
+	counts := make([]float64, n)
+	for _, f := range flows {
+		// First bin whose start t = kΔ satisfies t ≥ f.Start.
+		lo := int(math.Ceil(f.Start / delta))
+		// Last bin whose start is strictly before f.End.
+		hi := int(f.End / delta)
+		if float64(hi)*delta >= f.End {
+			hi--
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		for k := lo; k <= hi && k < n; k++ {
+			counts[k]++
+		}
+	}
+	return Series{Delta: delta, Rate: counts}, nil
+}

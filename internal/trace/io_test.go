@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	recs, _, err := GenerateAll(smallConfig(20, dist.Constant{V: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 100 {
+		t.Fatalf("trace too small for a meaningful test: %d records", len(recs))
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].Hdr != recs[i].Hdr {
+			t.Fatalf("record %d header mismatch:\n got %+v\nwant %+v", i, got[i].Hdr, recs[i].Hdr)
+		}
+		// Relative times: reader rebases on the first packet.
+		wantT := recs[i].Time - recs[0].Time
+		if math.Abs(got[i].Time-wantT) > 1e-6 {
+			t.Fatalf("record %d time = %g, want %g", i, got[i].Time, wantT)
+		}
+	}
+}
+
+func TestReadPcapEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty trace, got %d records", len(got))
+	}
+}
+
+func TestReadPcapGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("not a pcap"))); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}

@@ -1,0 +1,445 @@
+// Package trace defines the packet-record model shared by the whole
+// measurement pipeline and implements a synthetic backbone trace generator
+// that substitutes for the paper's proprietary Sprint OC-12 captures.
+//
+// The generator realises exactly the stochastic structure the paper models
+// and measures (§III, §IV):
+//
+//   - flow arrivals form a homogeneous Poisson process of rate λ
+//     (Assumption 1);
+//   - flow sizes, rates and shot shapes are iid across flows
+//     (Assumption 2);
+//   - within a flow, packets are paced so the instantaneous rate follows a
+//     power-function shot x(t) = a·t^b (Figure 7): b = 0 gives constant-rate
+//     (UDP-like) flows, b ≈ 1..2 mimics TCP's ramp-up;
+//   - destination addresses concentrate on Zipf-popular /24 prefixes, so
+//     prefix aggregation (the paper's second flow definition) merges many
+//     5-tuple flows, as observed on real backbones.
+//
+// Packets are produced in global timestamp order with bounded memory using
+// an event heap, so arbitrarily long traces stream in O(active flows) space.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/netpkt"
+)
+
+// Record is one captured packet: a timestamp plus the decoded 44-byte
+// header. Time is in seconds since the trace origin (the paper's traces use
+// absolute timestamps; a float64 second offset keeps arithmetic simple and
+// is exact to sub-microsecond over multi-hour traces).
+type Record struct {
+	Time float64
+	Hdr  netpkt.Header
+}
+
+// Bits returns the wire size of the packet in bits (the unit the model's
+// rates use).
+func (r Record) Bits() float64 { return float64(r.Hdr.TotalLen) * 8 }
+
+// Config parameterises the synthetic trace generator.
+type Config struct {
+	// Duration of the trace in seconds.
+	Duration float64
+	// Lambda is the flow arrival rate (flows per second), the λ of the model.
+	Lambda float64
+	// SizeBytes samples flow sizes S in bytes (heavy-tailed in practice).
+	SizeBytes dist.Sampler
+	// RateBps samples the average flow rate S/D in bits per second; the
+	// flow duration is derived as D = 8·S / rate.
+	RateBps dist.Sampler
+	// ShotB samples the power-shot exponent b per flow. Use dist.Constant
+	// for a pure shape (0 rectangular, 1 triangular, 2 parabolic).
+	ShotB dist.Sampler
+	// PktBytes is the maximum packet payload+header size in bytes (wire
+	// MTU); flows are chopped into packets of this size with a final
+	// partial packet. Default 1500.
+	PktBytes int
+	// Prefixes is the number of distinct /24 destination prefixes sessions
+	// draw from (uniformly). Default 65536 — a backbone link sees a huge
+	// destination diversity, so no single /24 stays continuously active.
+	Prefixes int
+	// FlowsPerSession is the mean of the geometric number of 5-tuple flows
+	// a session sends to its destination prefix (default 8). Sessions are
+	// what make the /24-prefix flow definition aggregate: consecutive
+	// flows of a session land within the 60 s timeout and merge into one
+	// prefix flow, giving the order-of-magnitude flow-count reduction the
+	// paper reports (§VI-A). Set to 1 for plain independent flows.
+	FlowsPerSession float64
+	// SessionFlowGapSec is the mean (exponential) gap between consecutive
+	// flow starts within a session (default 1 s; must stay below the flow
+	// timeout for aggregation to happen).
+	SessionFlowGapSec float64
+	// PopularFraction is the share of sessions addressed to a small tier
+	// of popular destination prefixes (default 0.45). Every real backbone
+	// link carries a few /24s — CDNs, large sites — that stay continuously
+	// active; under the prefix flow definition they form large, nearly
+	// constant-rate aggregates whose S²/D dominates the model inputs, which
+	// is what makes the rectangular shot fit prefix flows in the paper's
+	// Figure 12. Set to 0 to disable the tier.
+	PopularFraction float64
+	// PopularPrefixes is the size of the popular tier (default 32).
+	PopularPrefixes int
+	// UDPFraction is the fraction of flows labelled UDP; the rest are TCP.
+	// The label only affects the protocol byte (the model is protocol
+	// agnostic, which is the point of the paper), not the pacing.
+	UDPFraction float64
+	// MinDuration clamps pathologically short flows (extremely high rate
+	// draw on a tiny flow), which would otherwise put all packets in one
+	// burst. Default 10 ms.
+	MinDuration float64
+	// Warmup runs the arrival process for this many seconds before the
+	// trace window opens, so flows already in progress at t=0 are present
+	// and the link is in its stationary regime (the model's standing
+	// assumption; a monitored backbone link has been running forever).
+	// Packets emitted during warm-up are discarded. Default 0.
+	Warmup float64
+	// Seed drives all randomness; the same Config yields the same trace.
+	Seed int64
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if !(out.Duration > 0) {
+		return out, fmt.Errorf("trace: Duration must be > 0, got %g", out.Duration)
+	}
+	if !(out.Lambda > 0) {
+		return out, fmt.Errorf("trace: Lambda must be > 0, got %g", out.Lambda)
+	}
+	if out.SizeBytes == nil || out.RateBps == nil || out.ShotB == nil {
+		return out, fmt.Errorf("trace: SizeBytes, RateBps and ShotB samplers are required")
+	}
+	if out.PktBytes == 0 {
+		out.PktBytes = 1500
+	}
+	if out.PktBytes < 40 {
+		return out, fmt.Errorf("trace: PktBytes must be >= 40, got %d", out.PktBytes)
+	}
+	if out.Prefixes == 0 {
+		out.Prefixes = 65536
+	}
+	if out.Prefixes < 1 || out.Prefixes > 1<<20 {
+		return out, fmt.Errorf("trace: Prefixes out of range: %d", out.Prefixes)
+	}
+	if out.FlowsPerSession == 0 {
+		out.FlowsPerSession = 8
+	}
+	if out.FlowsPerSession < 1 {
+		return out, fmt.Errorf("trace: FlowsPerSession must be >= 1, got %g", out.FlowsPerSession)
+	}
+	if out.SessionFlowGapSec == 0 {
+		out.SessionFlowGapSec = 1
+	}
+	if out.SessionFlowGapSec < 0 {
+		return out, fmt.Errorf("trace: SessionFlowGapSec must be >= 0, got %g", out.SessionFlowGapSec)
+	}
+	if out.PopularFraction == 0 {
+		out.PopularFraction = 0.45
+	}
+	if out.PopularFraction < 0 || out.PopularFraction > 1 {
+		return out, fmt.Errorf("trace: PopularFraction must be in [0,1], got %g", out.PopularFraction)
+	}
+	if out.PopularPrefixes == 0 {
+		out.PopularPrefixes = 32
+	}
+	if out.PopularPrefixes < 1 || out.PopularPrefixes >= out.Prefixes {
+		return out, fmt.Errorf("trace: PopularPrefixes must be in [1, Prefixes), got %d", out.PopularPrefixes)
+	}
+	if out.UDPFraction < 0 || out.UDPFraction > 1 {
+		return out, fmt.Errorf("trace: UDPFraction must be in [0,1], got %g", out.UDPFraction)
+	}
+	if out.MinDuration == 0 {
+		out.MinDuration = 0.01
+	}
+	if out.Warmup < 0 {
+		return out, fmt.Errorf("trace: Warmup must be >= 0, got %g", out.Warmup)
+	}
+	return out, nil
+}
+
+// flowState tracks one in-progress flow inside the generator.
+type flowState struct {
+	start    float64 // arrival time T
+	duration float64 // D
+	sizeB    int     // S in bytes
+	invBp1   float64 // 1/(b+1), cached
+	sentB    int     // bytes emitted so far
+	pktBytes int
+	hdr      netpkt.Header // constant per flow except TotalLen
+}
+
+// nextOffset returns the emission offset (from the flow start) of the packet
+// that begins at cumulative byte position sentB: the shot x(t) = a·t^b has
+// transmitted fraction (t/D)^{b+1} of S by time t, so the byte position c is
+// reached at t = D·(c/S)^{1/(b+1)}.
+func (f *flowState) nextOffset() float64 {
+	frac := float64(f.sentB) / float64(f.sizeB)
+	return f.duration * math.Pow(frac, f.invBp1)
+}
+
+func (f *flowState) done() bool { return f.sentB >= f.sizeB }
+
+// event is an entry of the generator's time-ordered heap.
+type event struct {
+	time float64
+	seq  uint64 // tie-breaker for deterministic ordering
+	flow *flowState
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekTime() float64  { return h[0].time }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Generator produces the packets of one synthetic trace in time order.
+// Flow arrivals follow a Poisson cluster (session) process: sessions arrive
+// Poisson at rate Lambda/FlowsPerSession, and each session emits a
+// geometric number of flows to one destination prefix, spaced by
+// exponential gaps. The superposition of many concurrent sessions keeps the
+// aggregate flow arrival process close to Poisson (the paper's Figures 3-4
+// observation), while the session structure gives the /24-prefix definition
+// its finite, aggregated flows.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	arrivals *dist.PoissonProcess
+	events   eventHeap
+	nextArr  float64
+	seq      uint64
+	flowID   uint32
+	stats    Summary
+}
+
+// Summary aggregates what the generator produced; the per-trace rows of the
+// paper's Table I are derived from it.
+type Summary struct {
+	Flows       int64
+	Packets     int64
+	Bytes       int64
+	Duration    float64
+	AvgRateBps  float64
+	FlowRate    float64 // realised flow arrival rate per second
+	OnePktFlows int64   // flows emitted as a single packet (discarded by the pipeline)
+}
+
+// NewGenerator validates cfg and returns a ready generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	// Sessions arrive at Lambda/FlowsPerSession so the expected flow
+	// arrival rate stays Lambda.
+	arr, err := dist.NewPoissonProcess(c.Lambda/c.FlowsPerSession, rng)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	g := &Generator{cfg: c, rng: rng, arrivals: arr}
+	g.nextArr = g.arrivals.Next()
+	return g, nil
+}
+
+// geometric draws a geometric count with the given mean (support 1, 2, ...).
+func geometric(mean float64, rng *rand.Rand) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for rng.Float64() > p {
+		n++
+	}
+	return n
+}
+
+// newFlow draws a fresh flow to the given destination prefix, starting at
+// time t.
+func (g *Generator) newFlow(t float64, prefix uint32) *flowState {
+	c := &g.cfg
+	sizeB := int(math.Ceil(g.cfg.SizeBytes.Sample(g.rng)))
+	if sizeB < 40 {
+		sizeB = 40
+	}
+	rate := c.RateBps.Sample(g.rng)
+	d := float64(sizeB) * 8 / rate
+	if d < c.MinDuration {
+		d = c.MinDuration
+	}
+	b := c.ShotB.Sample(g.rng)
+	if b < 0 {
+		b = 0
+	}
+	g.flowID++
+	id := g.flowID
+	proto := netpkt.ProtoTCP
+	if g.rng.Float64() < c.UDPFraction {
+		proto = netpkt.ProtoUDP
+	}
+	// Destination: 172.16.0.0/12-style space carved into /24s; host byte
+	// from the flow id so flows to the same prefix still differ.
+	dst := netpkt.AddrFromUint32(0xAC10_0000 | prefix<<8 | (id % 253) + 1)
+	// Source: 10.0.0.0/8 space from the flow id.
+	src := netpkt.AddrFromUint32(0x0A00_0000 | (id*2654435761)>>8)
+	hdr := netpkt.Header{
+		SrcIP:    src,
+		DstIP:    dst,
+		Protocol: proto,
+		SrcPort:  uint16(1024 + id%60000),
+		DstPort:  uint16([]uint16{80, 443, 25, 53, 8080}[id%5]),
+		TTL:      64,
+	}
+	return &flowState{
+		start:    t,
+		duration: d,
+		sizeB:    sizeB,
+		invBp1:   1 / (b + 1),
+		pktBytes: c.PktBytes,
+		hdr:      hdr,
+	}
+}
+
+// admitSession creates the member flows of one session arriving at t and
+// pushes their first-packet events.
+func (g *Generator) admitSession(t, horizon float64) {
+	c := &g.cfg
+	var prefix uint32
+	if g.rng.Float64() < c.PopularFraction {
+		prefix = uint32(g.rng.Intn(c.PopularPrefixes))
+	} else {
+		prefix = uint32(c.PopularPrefixes + g.rng.Intn(c.Prefixes-c.PopularPrefixes))
+	}
+	n := geometric(c.FlowsPerSession, g.rng)
+	start := t
+	for i := 0; i < n; i++ {
+		if i > 0 && c.SessionFlowGapSec > 0 {
+			start += g.rng.ExpFloat64() * c.SessionFlowGapSec
+		}
+		if start >= horizon {
+			return
+		}
+		f := g.newFlow(start, prefix)
+		if start >= c.Warmup {
+			g.stats.Flows++
+			if f.sizeB <= f.pktBytes {
+				g.stats.OnePktFlows++
+			}
+		}
+		g.seq++
+		g.events.pushEvent(event{time: f.start + f.nextOffset(), seq: g.seq, flow: f})
+	}
+}
+
+// Next returns the next packet in time order. ok is false once the trace
+// horizon is reached. Record times are relative to the end of the warm-up
+// period, i.e. they lie in [0, Duration).
+func (g *Generator) Next() (rec Record, ok bool) {
+	horizon := g.cfg.Warmup + g.cfg.Duration
+	for {
+		// Admit any session arrivals that precede the earliest pending
+		// packet. Member flows may start later than the session arrival;
+		// the heap orders their packets correctly either way.
+		for g.nextArr < horizon &&
+			(g.events.Len() == 0 || g.nextArr <= g.events.peekTime()) {
+			g.admitSession(g.nextArr, horizon)
+			g.nextArr = g.arrivals.Next()
+		}
+		if g.events.Len() == 0 {
+			g.stats.Duration = g.cfg.Duration
+			if g.cfg.Duration > 0 {
+				g.stats.AvgRateBps = float64(g.stats.Bytes) * 8 / g.cfg.Duration
+				g.stats.FlowRate = float64(g.stats.Flows) / g.cfg.Duration
+			}
+			return Record{}, false
+		}
+		ev := g.events.popEvent()
+		// Flows in progress when the capture stops are truncated at the
+		// horizon, like a real capture: this packet and all later ones of
+		// the same flow are discarded.
+		if ev.time >= horizon {
+			continue
+		}
+		f := ev.flow
+		// Emit the packet beginning at byte position f.sentB.
+		pkt := f.pktBytes
+		if remaining := f.sizeB - f.sentB; remaining < pkt {
+			pkt = remaining
+		}
+		f.sentB += pkt
+		emitTime := ev.time
+		if !f.done() {
+			g.seq++
+			g.events.pushEvent(event{time: f.start + f.nextOffset(), seq: g.seq, flow: f})
+		}
+		// Packets during warm-up are generated (they advance flow state)
+		// but not emitted.
+		if emitTime < g.cfg.Warmup {
+			continue
+		}
+		hdr := f.hdr
+		hdr.TotalLen = uint16(pkt)
+		rec = Record{Time: emitTime - g.cfg.Warmup, Hdr: hdr}
+		g.stats.Packets++
+		g.stats.Bytes += int64(pkt)
+		return rec, true
+	}
+}
+
+// Stats returns the running summary; final once Next has returned ok=false.
+func (g *Generator) Stats() Summary { return g.stats }
+
+// GenerateAll materialises the whole trace in memory. Intended for tests and
+// the per-interval experiment harness (an interval at the default scale is a
+// few hundred thousand records). Long traces should consume Next directly.
+func GenerateAll(cfg Config) ([]Record, Summary, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	est := int(cfg.Duration * cfg.Lambda * 8)
+	recs := make([]Record, 0, est)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, r)
+	}
+	return recs, g.Stats(), nil
+}
+
+// MergeSorted merges two time-ordered record slices into one, preserving
+// order. Used to overlay e.g. a flood anomaly on a baseline trace.
+func MergeSorted(a, b []Record) []Record {
+	out := make([]Record, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Time <= b[j].Time {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
