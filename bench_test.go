@@ -11,9 +11,11 @@ package repro
 // reproduction quality.
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -60,6 +62,31 @@ func runExperiment(b *testing.B, fn func(*experiments.Runner) error) {
 
 func BenchmarkTable1TraceSuite(b *testing.B) {
 	runExperiment(b, func(r *experiments.Runner) error { return r.Table1(io.Discard) })
+}
+
+// BenchmarkMeasureSuiteWorkers scales the measurement pass's trace-level
+// worker pool, isolating the parallel speedup of the streaming pipeline
+// (the determinism test guarantees the outputs are identical).
+func BenchmarkMeasureSuiteWorkers(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchOptions()
+				opts.Workers = workers
+				r, err := experiments.NewRunner(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Table1(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFig1FlowSplitting(b *testing.B) {
@@ -224,6 +251,63 @@ func BenchmarkFlowMeasurement(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(recs)), "pkts/op")
+}
+
+// BenchmarkIntervalSplitter measures the one-pass interval pipeline: both
+// flow definitions assembled simultaneously while the rate series bins in
+// the same sweep — the per-trace inner loop of the experiment suite.
+func BenchmarkIntervalSplitter(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const intervalSec = 10.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binner, err := timeseries.NewBinner(intervalSec, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := flow.NewIntervalSplitter(
+			[]flow.Definition{flow.By5Tuple, flow.ByPrefix24},
+			intervalSec, flow.DefaultTimeout,
+			func(iv flow.IntervalSet) error { binner.Reset(); return nil },
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range recs {
+			if err := s.Add(recs[j]); err != nil {
+				b.Fatal(err)
+			}
+			binner.Add(recs[j].Time-s.Origin(), recs[j].Bits())
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "pkts/op")
+}
+
+// BenchmarkTraceStreaming exercises the generator through the iterator face
+// used by the suite workers (no trace materialisation).
+func BenchmarkTraceStreaming(b *testing.B) {
+	var pkts int64
+	for i := 0; i < b.N; i++ {
+		n := 0
+		sum, err := trace.Stream(benchTraceConfig(), func(trace.Record) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(n) != sum.Packets {
+			b.Fatalf("streamed %d packets, summary says %d", n, sum.Packets)
+		}
+		pkts += sum.Packets
+	}
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
 }
 
 func BenchmarkRateBinning(b *testing.B) {

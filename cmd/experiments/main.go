@@ -32,6 +32,7 @@ func main() {
 		delta   = flag.Float64("delta", 0.2, "rate averaging interval Δ in seconds")
 		predSec = flag.Float64("predsec", 1800, "prediction trace length for table2/fig14")
 		seed    = flag.Int64("seed", 0, "suite seed offset")
+		workers = flag.Int("workers", 0, "trace measurement workers (0 = GOMAXPROCS); output is identical at any count")
 		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
 	)
 	flag.Parse()
@@ -58,8 +59,9 @@ func main() {
 			MaxIntervals:     *maxIvl,
 			Seed:             *seed,
 		},
-		Delta: *delta,
-		Quiet: *quiet,
+		Delta:   *delta,
+		Workers: *workers,
+		Quiet:   *quiet,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The closed-form eq.(7) integral used for integer-b power shots must agree
+// with the generic quadrature path it replaced.
+func TestAveragedVarianceClosedFormMatchesQuadrature(t *testing.T) {
+	flows := testFlows(400, 9)
+	for _, b := range []float64{0, 1, 2, 3} {
+		shot := PowerShot{B: b}
+		m, err := NewModel(25, shot, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, delta := range []float64{0.05, 0.2, 1, 10} {
+			got, err := m.AveragedVariance(delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Re-derive via the quadrature definition.
+			f := func(tau float64) float64 {
+				return (1 - tau/delta) * m.AutoCovariance(tau)
+			}
+			want := 2 / delta * simpson(f, 0, delta, 2048)
+			if math.Abs(got-want) > 1e-6*math.Abs(want) {
+				t.Fatalf("b=%g Δ=%g: closed form %g vs quadrature %g", b, delta, got, want)
+			}
+		}
+	}
+}
+
+// powi must match math.Pow on the exponent range the shot family uses.
+func TestPowi(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		for _, x := range []float64{0, 0.3, 1, 2.5, 120} {
+			got, want := powi(x, n), math.Pow(x, float64(n))
+			if want == 0 {
+				if got != 0 && n > 0 {
+					t.Fatalf("powi(%g, %d) = %g, want 0", x, n, got)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-12*math.Abs(want) {
+				t.Fatalf("powi(%g, %d) = %g, want %g", x, n, got, want)
+			}
+		}
+	}
+	if powi(7, 0) != 1 {
+		t.Fatal("x^0 must be 1")
+	}
+}

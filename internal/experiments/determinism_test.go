@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderSuite runs the suite-wide experiments whose output covers every
+// cached measurement (Table I summaries, 5-tuple and /24 scatter points)
+// with the given worker count and returns the concatenated output.
+func renderSuite(t *testing.T, workers int) string {
+	t.Helper()
+	o := tinyOptions()
+	o.Workers = workers
+	r, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fig9(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Fig12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// The measurement pass fans the seven traces out over a worker pool; the
+// same seed must produce byte-identical output at any worker count, or the
+// parallelism would silently change the science.
+func TestSuiteOutputDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	sequential := renderSuite(t, 1)
+	if len(sequential) == 0 {
+		t.Fatal("sequential run produced no output")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		if got := renderSuite(t, workers); got != sequential {
+			t.Fatalf("output with %d workers differs from sequential run", workers)
+		}
+	}
+}

@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -25,6 +28,11 @@ type Options struct {
 	// Delta is the rate averaging interval (default 0.2 s, the paper's
 	// 200 ms round-trip-time choice, §V-F).
 	Delta float64
+	// Workers sizes the trace-level worker pool of the measurement pass.
+	// The seven Table I traces are seeded independently, so they measure in
+	// parallel; results are reassembled in trace order, so output is
+	// identical at any worker count. 0 means GOMAXPROCS; 1 is sequential.
+	Workers int
 	// Quiet suppresses per-point output, keeping only summaries (used by
 	// benchmarks).
 	Quiet bool
@@ -114,80 +122,163 @@ func (r *Runner) linkBps() float64 {
 	return 100e6
 }
 
-// measureSuite generates every trace, measures every interval under both
-// flow definitions and caches the per-interval statistics.
+// suiteDefs are the two flow definitions every interval is measured under.
+var suiteDefs = []flow.Definition{flow.By5Tuple, flow.ByPrefix24}
+
+// traceResult is one trace's contribution to the suite measurement,
+// assembled by a worker and merged in trace order by measureSuite.
+type traceResult struct {
+	summary trace.Summary
+	// statsByDef holds the scatter points per definition, interval-ordered,
+	// so the merged r.stats layout is independent of worker scheduling.
+	statsByDef [][]IntervalStat
+	// Reference-interval capture (trace 1 only).
+	refRecs []trace.Record
+	refRes5 flow.Result
+	refResP flow.Result
+}
+
+// measureSuite measures every trace of the suite: each worker streams its
+// trace's generator straight into an interval splitter (both flow
+// definitions at once) and a rate binner, so records are consumed in one
+// pass and never materialised — memory per worker is O(active flows + one
+// interval). Results are merged in (trace, definition, interval) order, so
+// the cached statistics are byte-identical at any worker count.
 func (r *Runner) measureSuite() error {
 	if r.measured {
 		return nil
 	}
-	link := r.linkBps()
-	for ti, spec := range r.specs {
-		cfg := spec.Config()
-		// Warm-up puts each trace in stationary regime (see trace.Config).
-		cfg.Warmup = 60
-		recs, sum, err := trace.GenerateAll(cfg)
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.specs) {
+		workers = len(r.specs)
+	}
+	results := make([]*traceResult, len(r.specs))
+	errs := make([]error, len(r.specs))
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	tis := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range tis {
+				// One failed trace aborts the traces not yet started
+				// (indices are dispatched in order, so the first error by
+				// index is always a real one, never this sentinel).
+				if aborted.Load() {
+					errs[ti] = fmt.Errorf("aborted after earlier trace failure")
+					continue
+				}
+				results[ti], errs[ti] = r.measureTrace(ti, r.specs[ti])
+				if errs[ti] != nil {
+					aborted.Store(true)
+				}
+			}
+		}()
+	}
+	for ti := range r.specs {
+		tis <- ti
+	}
+	close(tis)
+	wg.Wait()
+	for ti, err := range errs {
 		if err != nil {
-			return fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+			return fmt.Errorf("experiments: measuring %s: %w", r.specs[ti].Name, err)
 		}
-		r.summaries = append(r.summaries, sum)
-		for _, def := range []flow.Definition{flow.By5Tuple, flow.ByPrefix24} {
-			ivs, err := flow.MeasureIntervals(recs, def, spec.IntervalSec, flow.DefaultTimeout)
-			if err != nil {
-				return fmt.Errorf("experiments: measuring %s: %w", spec.Name, err)
-			}
-			for _, iv := range ivs {
-				stat, err := r.intervalStat(spec, iv, def, recs)
-				if err != nil {
-					continue // empty or degenerate interval: skip the point
-				}
-				stat.linkBps = link
-				r.stats = append(r.stats, stat)
-				if ti == 0 && iv.Index == 0 {
-					if def == flow.By5Tuple {
-						r.refRes5 = iv.Result
-					} else {
-						r.refResP = iv.Result
-					}
-				}
-			}
+	}
+	for ti, tr := range results {
+		r.summaries = append(r.summaries, tr.summary)
+		for di := range suiteDefs {
+			r.stats = append(r.stats, tr.statsByDef[di]...)
 		}
 		if ti == 0 {
-			// Keep the first interval's packets for the reference figures.
-			end := spec.IntervalSec
-			for _, rec := range recs {
-				if rec.Time >= end {
-					break
-				}
-				r.refRecs = append(r.refRecs, rec)
-			}
+			r.refRecs = tr.refRecs
+			r.refRes5 = tr.refRes5
+			r.refResP = tr.refResP
 		}
 	}
 	r.measured = true
 	return nil
 }
 
-// intervalStat computes one scatter point.
-func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def flow.Definition, recs []trace.Record) (IntervalStat, error) {
-	if len(iv.Flows) < 10 {
-		return IntervalStat{}, fmt.Errorf("experiments: interval too sparse")
-	}
-	lo := iv.Start
-	hi := lo + spec.IntervalSec
-	// Rebase the interval's packets and bin them.
-	var window []trace.Record
-	for _, rec := range recs {
-		if rec.Time < lo {
-			continue
-		}
-		if rec.Time >= hi {
-			break
-		}
-		rec.Time -= lo
-		window = append(window, rec)
-	}
-	series, err := timeseries.Bin(window, spec.IntervalSec, r.opts.Delta)
+// measureTrace streams one trace through the one-pass measurement pipeline.
+// It is called concurrently by measureSuite's workers and only reads shared
+// Runner state.
+func (r *Runner) measureTrace(ti int, spec trace.TraceSpec) (*traceResult, error) {
+	link := r.linkBps()
+	cfg := spec.Config()
+	// Warm-up puts each trace in stationary regime (see trace.Config).
+	cfg.Warmup = 60
+	g, err := trace.NewGenerator(cfg)
 	if err != nil {
-		return IntervalStat{}, err
+		return nil, err
+	}
+	binner, err := timeseries.NewBinner(spec.IntervalSec, r.opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	tr := &traceResult{statsByDef: make([][]IntervalStat, len(suiteDefs))}
+	emit := func(iv flow.IntervalSet) error {
+		for di, def := range suiteDefs {
+			if len(iv.Results[di].Flows) < minIntervalFlows {
+				continue // empty or sparse interval: skip before snapshotting
+			}
+			ivr := flow.IntervalResult{Index: iv.Index, Start: iv.Start, Result: iv.Results[di]}
+			// Each definition subtracts its own discarded packets, so it
+			// gets its own snapshot of the interval's rate series.
+			stat, err := r.intervalStat(spec, ivr, def, binner.Series())
+			if err != nil {
+				continue // degenerate interval: skip the point
+			}
+			stat.linkBps = link
+			tr.statsByDef[di] = append(tr.statsByDef[di], stat)
+			if ti == 0 && iv.Index == 0 {
+				if def == flow.By5Tuple {
+					tr.refRes5 = ivr.Result
+				} else {
+					tr.refResP = ivr.Result
+				}
+			}
+		}
+		binner.Reset()
+		return nil
+	}
+	split, err := flow.NewIntervalSplitter(suiteDefs, spec.IntervalSec, flow.DefaultTimeout, emit)
+	if err != nil {
+		return nil, err
+	}
+	for rec := range g.Records() {
+		// The splitter flushes completed intervals (resetting the binner
+		// via emit) before the record lands, so bin against the splitter's
+		// current interval origin after Add.
+		if err := split.Add(rec); err != nil {
+			return nil, err
+		}
+		binner.Add(rec.Time-split.Origin(), rec.Bits())
+		if ti == 0 && rec.Time < spec.IntervalSec {
+			// Keep the first interval's packets for the reference figures.
+			tr.refRecs = append(tr.refRecs, rec)
+		}
+	}
+	if err := split.Close(); err != nil {
+		return nil, err
+	}
+	tr.summary = g.Stats()
+	return tr, nil
+}
+
+// minIntervalFlows is the fewest multi-packet flows an interval needs to
+// yield a meaningful scatter point.
+const minIntervalFlows = 10
+
+// intervalStat computes one scatter point from an interval's flows and its
+// binned rate series (which it owns and mutates).
+func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def flow.Definition, series timeseries.Series) (IntervalStat, error) {
+	if len(iv.Flows) < minIntervalFlows {
+		return IntervalStat{}, fmt.Errorf("experiments: interval too sparse")
 	}
 	series.Subtract(iv.Discarded)
 	in, err := core.InputFromFlows(iv.Flows, spec.IntervalSec)

@@ -215,25 +215,11 @@ func (a *Assembler[K]) Flush() Result {
 	return out
 }
 
-// keyFuncs maps a Definition to its extractor. Using dedicated comparable
-// key types (not strings) keeps the hot path allocation-free.
+// measureByDef runs recs through the assembler of one definition. Dedicated
+// comparable key types (not strings, see newMeasurer) keep the hot path
+// allocation-free.
 func measureByDef(recs []trace.Record, def Definition, timeout float64) (Result, error) {
-	switch def {
-	case By5Tuple:
-		return measure(recs, (*netpkt.Header).Key5Tuple, timeout)
-	case ByPrefix24:
-		return measure(recs, (*netpkt.Header).KeyPrefix, timeout)
-	case ByPrefix16:
-		return measure(recs, func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(16) }, timeout)
-	case ByPrefix8:
-		return measure(recs, func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(8) }, timeout)
-	default:
-		return Result{}, fmt.Errorf("flow: unknown definition %d", int(def))
-	}
-}
-
-func measure[K comparable](recs []trace.Record, keyFn func(*netpkt.Header) K, timeout float64) (Result, error) {
-	a, err := NewAssembler(keyFn, timeout)
+	a, err := newMeasurer(def, timeout)
 	if err != nil {
 		return Result{}, err
 	}
@@ -263,37 +249,27 @@ type IntervalResult struct {
 // the paper does ("flows that belong to 30 minutes intervals are split over
 // the intervals they overlap"). Flow Start/End times are relative to the
 // interval start, matching the per-interval analysis of §VI.
+//
+// It is a one-pass wrapper over IntervalSplitter: no window is copied and no
+// record is visited twice. Empty intervals between packets are still emitted
+// so interval indices align with wall-clock position (a dead link is data,
+// not a gap).
 func MeasureIntervals(recs []trace.Record, def Definition, intervalSec, timeout float64) ([]IntervalResult, error) {
-	if !(intervalSec > 0) {
-		return nil, fmt.Errorf("flow: interval must be > 0, got %g", intervalSec)
-	}
 	var out []IntervalResult
-	i := 0
-	for idx := 0; i < len(recs); idx++ {
-		lo := float64(idx) * intervalSec
-		hi := lo + intervalSec
-		j := i
-		for j < len(recs) && recs[j].Time < hi {
-			j++
-		}
-		if j == i {
-			// Empty interval: still emit it so interval indices align with
-			// wall-clock position (a dead link is data, not a gap).
-			out = append(out, IntervalResult{Index: idx, Start: lo})
-			continue
-		}
-		// Rebase times onto the interval origin.
-		window := make([]trace.Record, j-i)
-		copy(window, recs[i:j])
-		for k := range window {
-			window[k].Time -= lo
-		}
-		res, err := measureByDef(window, def, timeout)
-		if err != nil {
+	s, err := NewIntervalSplitter([]Definition{def}, intervalSec, timeout, func(iv IntervalSet) error {
+		out = append(out, IntervalResult{Index: iv.Index, Start: iv.Start, Result: iv.Results[0]})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range recs {
+		if err := s.Add(recs[i]); err != nil {
 			return nil, err
 		}
-		out = append(out, IntervalResult{Index: idx, Start: lo, Result: res})
-		i = j
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

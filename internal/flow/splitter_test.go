@@ -1,0 +1,206 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// bruteIntervals is the pre-splitter reference implementation: copy each
+// interval's window, rebase it and measure it with a fresh assembler. The
+// streaming splitter must reproduce it exactly.
+func bruteIntervals(t *testing.T, recs []trace.Record, def Definition, intervalSec, timeout float64) []IntervalResult {
+	t.Helper()
+	var out []IntervalResult
+	i := 0
+	for idx := 0; i < len(recs); idx++ {
+		lo := float64(idx) * intervalSec
+		hi := lo + intervalSec
+		j := i
+		for j < len(recs) && recs[j].Time < hi {
+			j++
+		}
+		if j == i {
+			out = append(out, IntervalResult{Index: idx, Start: lo})
+			continue
+		}
+		window := make([]trace.Record, j-i)
+		copy(window, recs[i:j])
+		for k := range window {
+			window[k].Time -= lo
+		}
+		res, err := measureByDef(window, def, timeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, IntervalResult{Index: idx, Start: lo, Result: res})
+		i = j
+	}
+	return out
+}
+
+// syntheticRecs generates a realistic record stream for splitter tests.
+func syntheticRecs(t *testing.T) []trace.Record {
+	t.Helper()
+	size, err := dist.NewBoundedPareto(1.3, 3000, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := dist.LognormalFromMoments(250e3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := trace.GenerateAll(trace.Config{
+		Duration:  40,
+		Lambda:    30,
+		SizeBytes: size,
+		RateBps:   rate,
+		ShotB:     dist.Constant{V: 1},
+		Seed:      21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func sameResults(a, b Result) bool {
+	if len(a.Flows) != len(b.Flows) || len(a.Discarded) != len(b.Discarded) {
+		return false
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			return false
+		}
+	}
+	for i := range a.Discarded {
+		if a.Discarded[i] != b.Discarded[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The one-pass splitter must agree with the window-copy reference for every
+// definition, per interval, flow by flow.
+func TestIntervalSplitterMatchesBruteForce(t *testing.T) {
+	recs := syntheticRecs(t)
+	const intervalSec = 10.0
+	for _, def := range []Definition{By5Tuple, ByPrefix24, ByPrefix16} {
+		want := bruteIntervals(t, recs, def, intervalSec, DefaultTimeout)
+		got, err := MeasureIntervals(recs, def, intervalSec, DefaultTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d intervals, want %d", def, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index || got[i].Start != want[i].Start {
+				t.Fatalf("%s: interval %d header mismatch: %+v vs %+v",
+					def, i, got[i], want[i])
+			}
+			if !sameResults(got[i].Result, want[i].Result) {
+				t.Fatalf("%s: interval %d flows differ", def, i)
+			}
+		}
+	}
+}
+
+// One splitter pass over both definitions must equal two independent
+// single-definition passes.
+func TestIntervalSplitterMultiDefinition(t *testing.T) {
+	recs := syntheticRecs(t)
+	const intervalSec = 10.0
+	defs := []Definition{By5Tuple, ByPrefix24}
+	var sets []IntervalSet
+	s, err := NewIntervalSplitter(defs, intervalSec, DefaultTimeout, func(iv IntervalSet) error {
+		sets = append(sets, iv)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := s.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for di, def := range defs {
+		want, err := MeasureIntervals(recs, def, intervalSec, DefaultTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sets) != len(want) {
+			t.Fatalf("%s: %d intervals, want %d", def, len(sets), len(want))
+		}
+		for i := range want {
+			if !sameResults(sets[i].Results[di], want[i].Result) {
+				t.Fatalf("%s: interval %d differs between multi- and single-def pass", def, i)
+			}
+		}
+	}
+}
+
+func TestIntervalSplitterEmptyIntervals(t *testing.T) {
+	// Packets only in intervals 0 and 3: 1 and 2 must still be emitted.
+	recs := []trace.Record{
+		rec(0.5, 1, 1, 1000, 100),
+		rec(1.0, 1, 1, 1000, 100),
+		rec(31.0, 2, 2, 2000, 100),
+		rec(31.5, 2, 2, 2000, 100),
+	}
+	out, err := MeasureIntervals(recs, By5Tuple, 10, DefaultTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d intervals, want 4", len(out))
+	}
+	for i, iv := range out {
+		if iv.Index != i {
+			t.Fatalf("interval %d has index %d", i, iv.Index)
+		}
+	}
+	if len(out[1].Flows)+len(out[1].Discarded) != 0 || len(out[2].Flows)+len(out[2].Discarded) != 0 {
+		t.Fatal("middle intervals should be empty")
+	}
+	if len(out[0].Flows) != 1 || len(out[3].Flows) != 1 {
+		t.Fatalf("edge intervals should each hold one flow: %d, %d",
+			len(out[0].Flows), len(out[3].Flows))
+	}
+	// Flow times are relative to their interval.
+	if f := out[3].Flows[0]; f.Start != 1.0 || f.End != 1.5 {
+		t.Fatalf("interval 3 flow not rebased: %+v", f)
+	}
+}
+
+func TestIntervalSplitterValidation(t *testing.T) {
+	emit := func(IntervalSet) error { return nil }
+	if _, err := NewIntervalSplitter([]Definition{By5Tuple}, 0, DefaultTimeout, emit); err == nil {
+		t.Fatal("zero interval should be rejected")
+	}
+	if _, err := NewIntervalSplitter(nil, 10, DefaultTimeout, emit); err == nil {
+		t.Fatal("no definitions should be rejected")
+	}
+	if _, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout, nil); err == nil {
+		t.Fatal("nil emit should be rejected")
+	}
+	if _, err := NewIntervalSplitter([]Definition{Definition(99)}, 10, DefaultTimeout, emit); err == nil {
+		t.Fatal("unknown definition should be rejected")
+	}
+	s, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rec(5, 1, 1, 1000, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rec(4, 1, 1, 1000, 100)); err == nil {
+		t.Fatal("out-of-order packet should be rejected")
+	}
+}

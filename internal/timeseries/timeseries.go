@@ -21,36 +21,76 @@ type Series struct {
 	Rate  []float64
 }
 
-// Bin averages the packet volumes of recs over bins of length delta across
-// [0, duration). Packets outside the window are ignored. Bin boundaries use
-// the convention t ∈ [kΔ, (k+1)Δ).
-func Bin(recs []trace.Record, duration, delta float64) (Series, error) {
+// Binner accumulates packet volumes into rate bins as the packets stream
+// by, so the rate series of an interval is built in the same pass that
+// measures its flows — no second scan over a materialised record slice.
+// One Binner is reused across intervals via Reset.
+type Binner struct {
+	delta    float64
+	duration float64
+	bits     []float64
+}
+
+// NewBinner prepares bins of length delta across [0, duration).
+func NewBinner(duration, delta float64) (*Binner, error) {
 	if !(delta > 0) {
-		return Series{}, fmt.Errorf("timeseries: delta must be > 0, got %g", delta)
+		return nil, fmt.Errorf("timeseries: delta must be > 0, got %g", delta)
 	}
 	if !(duration > 0) {
-		return Series{}, fmt.Errorf("timeseries: duration must be > 0, got %g", duration)
+		return nil, fmt.Errorf("timeseries: duration must be > 0, got %g", duration)
 	}
 	n := int(duration / delta)
 	if n == 0 {
-		return Series{}, fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
+		return nil, fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
 	}
-	bits := make([]float64, n)
+	return &Binner{delta: delta, duration: duration, bits: make([]float64, n)}, nil
+}
+
+// Add accounts one packet of the given size at time t (relative to the
+// window origin). Packets outside [0, duration) are ignored; bin boundaries
+// use the convention t ∈ [kΔ, (k+1)Δ).
+func (b *Binner) Add(t, bits float64) {
+	if t < 0 || t >= b.duration {
+		return
+	}
+	k := int(t / b.delta)
+	if k >= len(b.bits) { // guard the t == duration-ε float edge
+		k = len(b.bits) - 1
+	}
+	b.bits[k] += bits
+}
+
+// AddRecord accounts one packet record.
+func (b *Binner) AddRecord(rec trace.Record) { b.Add(rec.Time, rec.Bits()) }
+
+// Reset clears the bins for the next window.
+func (b *Binner) Reset() {
+	clear(b.bits)
+}
+
+// Series snapshots the accumulated volumes as a rate series. The returned
+// series owns its storage, so the binner can be Reset and reused (and the
+// series mutated, e.g. by Subtract) independently.
+func (b *Binner) Series() Series {
+	rate := make([]float64, len(b.bits))
+	for k, v := range b.bits {
+		rate[k] = v / b.delta
+	}
+	return Series{Delta: b.delta, Rate: rate}
+}
+
+// Bin averages the packet volumes of recs over bins of length delta across
+// [0, duration). Packets outside the window are ignored. It is the
+// materialised-slice convenience over Binner.
+func Bin(recs []trace.Record, duration, delta float64) (Series, error) {
+	b, err := NewBinner(duration, delta)
+	if err != nil {
+		return Series{}, err
+	}
 	for i := range recs {
-		t := recs[i].Time
-		if t < 0 || t >= duration {
-			continue
-		}
-		k := int(t / delta)
-		if k >= n { // guard the t == duration-ε float edge
-			k = n - 1
-		}
-		bits[k] += recs[i].Bits()
+		b.AddRecord(recs[i])
 	}
-	for k := range bits {
-		bits[k] /= delta
-	}
-	return Series{Delta: delta, Rate: bits}, nil
+	return b.Series(), nil
 }
 
 // Subtract removes the given discarded packets (single-packet flows, which

@@ -1,0 +1,11 @@
+package trace
+
+import "testing"
+
+// Invalid configs must surface NewGenerator's validation error, not panic
+// on a negative capacity estimate.
+func TestGenerateAllInvalidConfigErrors(t *testing.T) {
+	if _, _, err := GenerateAll(Config{Duration: -5, Lambda: 100}); err == nil {
+		t.Fatal("invalid config should return an error")
+	}
+}

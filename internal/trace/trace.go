@@ -21,8 +21,8 @@
 package trace
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
 	"math"
 	"math/rand"
 
@@ -192,21 +192,57 @@ type event struct {
 	flow *flowState
 }
 
+// eventHeap is a hand-rolled binary min-heap. container/heap would box every
+// event through its `any`-typed interface on the per-packet push/pop path —
+// one allocation per packet — so the sift operations are inlined here.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) Len() int          { return len(h) }
+func (h eventHeap) peekTime() float64 { return h[0].time }
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peekTime() float64  { return h[0].time }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) pushEvent(e event) {
+	q := append(*h, e)
+	for i := len(q) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *eventHeap) popEvent() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && q.less(r, c) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	*h = q
+	return top
+}
 
 // Generator produces the packets of one synthetic trace in time order.
 // Flow arrivals follow a Poisson cluster (session) process: sessions arrive
@@ -257,6 +293,10 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	return g, nil
 }
 
+// dstPorts is the destination-port mix flows cycle through. A package-level
+// array keeps newFlow from allocating the slice literal once per flow.
+var dstPorts = [...]uint16{80, 443, 25, 53, 8080}
+
 // geometric draws a geometric count with the given mean (support 1, 2, ...).
 func geometric(mean float64, rng *rand.Rand) int {
 	if mean <= 1 {
@@ -303,7 +343,7 @@ func (g *Generator) newFlow(t float64, prefix uint32) *flowState {
 		DstIP:    dst,
 		Protocol: proto,
 		SrcPort:  uint16(1024 + id%60000),
-		DstPort:  uint16([]uint16{80, 443, 25, 53, 8080}[id%5]),
+		DstPort:  dstPorts[id%uint32(len(dstPorts))],
 		TTL:      64,
 	}
 	return &flowState{
@@ -405,21 +445,57 @@ func (g *Generator) Next() (rec Record, ok bool) {
 // Stats returns the running summary; final once Next has returned ok=false.
 func (g *Generator) Stats() Summary { return g.stats }
 
+// Records returns a single-use iterator over the remaining packets of the
+// trace, in time order. It is the range-over-func face of Next: ranging to
+// completion drains the generator and finalises Stats. Breaking early leaves
+// the generator resumable.
+func (g *Generator) Records() iter.Seq[Record] {
+	return func(yield func(Record) bool) {
+		for {
+			r, ok := g.Next()
+			if !ok || !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// Stream generates cfg's trace and hands every packet to fn in time order
+// without materialising the trace: memory stays O(active flows) however long
+// the trace is. On success it returns the final summary. fn's first error
+// aborts the stream and is returned along with the running summary snapshot,
+// whose Duration, AvgRateBps and FlowRate are not yet finalised (they are
+// only computed once the trace drains).
+func Stream(cfg Config, fn func(Record) error) (Summary, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if err := fn(r); err != nil {
+			return g.Stats(), err
+		}
+	}
+	return g.Stats(), nil
+}
+
 // GenerateAll materialises the whole trace in memory. Intended for tests and
-// the per-interval experiment harness (an interval at the default scale is a
-// few hundred thousand records). Long traces should consume Next directly.
+// single-interval reference figures (an interval at the default scale is a
+// few hundred thousand records). Long traces should use Stream or Records.
 func GenerateAll(cfg Config) ([]Record, Summary, error) {
+	// Validate (via NewGenerator) before sizing the slice: an invalid
+	// Duration or Lambda would turn the capacity estimate negative.
 	g, err := NewGenerator(cfg)
 	if err != nil {
 		return nil, Summary{}, err
 	}
 	est := int(cfg.Duration * cfg.Lambda * 8)
 	recs := make([]Record, 0, est)
-	for {
-		r, ok := g.Next()
-		if !ok {
-			break
-		}
+	for r := range g.Records() {
 		recs = append(recs, r)
 	}
 	return recs, g.Stats(), nil

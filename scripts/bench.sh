@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Runs the headline pipeline benchmarks and emits one JSON document with
+# ns/op, B/op and allocs/op per benchmark, seeding the perf trajectory
+# (compare successive BENCH_*.json to see the suite speed over PRs).
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -eu
+
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+benchtime="${2:-3x}"
+pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkIntervalSplitter|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance'
+
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    n = 0
+}
+$1 ~ /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' > "$out"
+
+echo "wrote $out" >&2
