@@ -64,7 +64,7 @@ func BenchmarkTable1TraceSuite(b *testing.B) {
 	runExperiment(b, func(r *experiments.Runner) error { return r.Table1(io.Discard) })
 }
 
-// BenchmarkMeasureSuiteWorkers scales the measurement pass's trace-level
+// BenchmarkMeasureSuiteWorkers scales the measurement pass's two-level
 // worker pool, isolating the parallel speedup of the streaming pipeline
 // (the determinism test guarantees the outputs are identical).
 func BenchmarkMeasureSuiteWorkers(b *testing.B) {
@@ -76,6 +76,37 @@ func BenchmarkMeasureSuiteWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := benchOptions()
+				opts.Workers = workers
+				r, err := experiments.NewRunner(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Table1(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLongTraceWorkers scales the pool on the long-trace scenario that
+// motivates intra-trace sharding: interval counts are uncapped, so the
+// 39.5 h trace carries ~4× the intervals of the median trace and
+// trace-granular parallelism tops out at 7 workers with the longest trace
+// as the critical path. Scaling beyond workers=7 (visible on machines with
+// more cores; this suite has ~34 interval tasks) is entirely the interval
+// level of the scheduler. Single-core runs record the scheduling overhead
+// instead.
+func BenchmarkLongTraceWorkers(b *testing.B) {
+	counts := []int{1, 4, 7}
+	if n := runtime.GOMAXPROCS(0); n > 7 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchOptions()
+				opts.Suite.MaxIntervals = 0 // paper-proportional interval counts
 				opts.Workers = workers
 				r, err := experiments.NewRunner(opts)
 				if err != nil {

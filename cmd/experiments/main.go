@@ -32,7 +32,7 @@ func main() {
 		delta   = flag.Float64("delta", 0.2, "rate averaging interval Δ in seconds")
 		predSec = flag.Float64("predsec", 1800, "prediction trace length for table2/fig14")
 		seed    = flag.Int64("seed", 0, "suite seed offset")
-		workers = flag.Int("workers", 0, "trace measurement workers (0 = GOMAXPROCS); output is identical at any count")
+		workers = flag.Int("workers", 0, "interval measurement workers, shared across traces (0 = GOMAXPROCS); output is identical at any count")
 		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
 	)
 	flag.Parse()

@@ -206,6 +206,12 @@ func (m *Model) LST(theta float64) (float64, error) {
 	if theta == 0 {
 		return 1, nil
 	}
+	// A hand-built Model can carry an empty population (NewModel rejects it);
+	// without the guard the mean below divides by zero and returns NaN
+	// instead of an error.
+	if len(m.Flows) == 0 {
+		return 0, fmt.Errorf("core: LST needs a non-empty flow population")
+	}
 	var sum float64
 	for _, f := range m.Flows {
 		s, d := f.S, f.D
@@ -224,6 +230,9 @@ func (m *Model) LST(theta float64) (float64, error) {
 func (m *Model) Cumulant(k int) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("core: cumulant order must be >= 1, got %d", k)
+	}
+	if len(m.Flows) == 0 {
+		return 0, fmt.Errorf("core: cumulant needs a non-empty flow population")
 	}
 	var sum float64
 	if ps, ok := m.Shot.(PowerShot); ok {

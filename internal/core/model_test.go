@@ -276,6 +276,30 @@ func TestCumulantsMatchMoments(t *testing.T) {
 	}
 }
 
+// NewModel rejects an empty population, but a hand-built Model can carry
+// one; LST and Cumulant must return an error rather than the NaN their
+// divide-by-len would produce (mirrors the Cumulant(0) rejection above).
+func TestEmptyPopulationRejected(t *testing.T) {
+	fs, err := NewFuncShot("flat", func(u float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shot := range []Shot{Parabolic, fs} {
+		m := &Model{Lambda: 10, Shot: shot}
+		if v, err := m.LST(0.5); err == nil {
+			t.Fatalf("%s: LST on empty population = %g, want error", shot.Name(), v)
+		}
+		if v, err := m.Cumulant(2); err == nil {
+			t.Fatalf("%s: Cumulant on empty population = %g, want error", shot.Name(), v)
+		}
+	}
+	// θ = 0 stays exact without touching the population.
+	m := &Model{Lambda: 10, Shot: Parabolic}
+	if one, err := m.LST(0); err != nil || one != 1 {
+		t.Fatalf("LST(0) = %g, %v; want 1", one, err)
+	}
+}
+
 func TestCumulantFuncShotNumericPath(t *testing.T) {
 	fs, err := NewFuncShot("flat", func(u float64) float64 { return 1 })
 	if err != nil {

@@ -213,12 +213,12 @@ func (r *Runner) AblationDelta(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	recs, res5, _, err := r.RefInterval()
+	win, res5, _, err := r.RefInterval()
 	if err != nil {
 		return err
 	}
 	interval := r.specs[0].IntervalSec
-	base, err := timeseries.Bin(recs, interval, 0.05)
+	base, err := timeseries.BinStream(win.Records(), interval, 0.05)
 	if err != nil {
 		return err
 	}
@@ -335,12 +335,12 @@ func (r *Runner) AblationSmoothing(w io.Writer) error {
 // measured 50 ms rate series.
 func (r *Runner) AblationLRD(w io.Writer) error {
 	sep(w, "Ablation — range dependence of the generated traffic (§II)")
-	recs, _, _, err := r.RefInterval()
+	win, _, _, err := r.RefInterval()
 	if err != nil {
 		return err
 	}
 	interval := r.specs[0].IntervalSec
-	series, err := timeseries.Bin(recs, interval, 0.05)
+	series, err := timeseries.BinStream(win.Records(), interval, 0.05)
 	if err != nil {
 		return err
 	}

@@ -3,14 +3,15 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/trace"
 )
 
-// renderSuite runs the suite-wide experiments whose output covers every
+// renderSuiteOpts runs the suite-wide experiments whose output covers every
 // cached measurement (Table I summaries, 5-tuple and /24 scatter points)
-// with the given worker count and returns the concatenated output.
-func renderSuite(t *testing.T, workers int) string {
+// with the given options and returns the concatenated output.
+func renderSuiteOpts(t *testing.T, o Options, workers int) string {
 	t.Helper()
-	o := tinyOptions()
 	o.Workers = workers
 	r, err := NewRunner(o)
 	if err != nil {
@@ -29,19 +30,50 @@ func renderSuite(t *testing.T, workers int) string {
 	return buf.String()
 }
 
-// The measurement pass fans the seven traces out over a worker pool; the
-// same seed must produce byte-identical output at any worker count, or the
-// parallelism would silently change the science.
+// The measurement pass schedules (trace, interval) tasks over a worker pool;
+// the same seed must produce byte-identical output at any worker count, or
+// the parallelism would silently change the science.
 func TestSuiteOutputDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping suite measurement in -short mode")
 	}
-	sequential := renderSuite(t, 1)
+	sequential := renderSuiteOpts(t, tinyOptions(), 1)
 	if len(sequential) == 0 {
 		t.Fatal("sequential run produced no output")
 	}
 	for _, workers := range []int{2, 4, 16} {
-		if got := renderSuite(t, workers); got != sequential {
+		if got := renderSuiteOpts(t, tinyOptions(), workers); got != sequential {
+			t.Fatalf("output with %d workers differs from sequential run", workers)
+		}
+	}
+}
+
+// The same guarantee under intra-trace sharding stress: uncapped interval
+// counts give the 39.5 h trace several times more intervals than the others,
+// so many intervals of one trace are in flight at once and worker counts
+// beyond the seven traces exercise the second scheduler level.
+func TestSuiteOutputDeterministicIntraTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	longOpts := func() Options {
+		return Options{
+			Suite: trace.SuiteOptions{
+				LinkBps:          10e6,
+				IntervalSec:      20,
+				IntervalsPerHour: 0.2,
+				// MaxIntervals unset: trace 4 runs its full paper-length
+				// share (≈ 8 intervals at this scale).
+			},
+			Quiet: true,
+		}
+	}
+	sequential := renderSuiteOpts(t, longOpts(), 1)
+	if len(sequential) == 0 {
+		t.Fatal("sequential run produced no output")
+	}
+	for _, workers := range []int{3, 16} {
+		if got := renderSuiteOpts(t, longOpts(), workers); got != sequential {
 			t.Fatalf("output with %d workers differs from sequential run", workers)
 		}
 	}

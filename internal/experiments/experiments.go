@@ -28,9 +28,14 @@ type Options struct {
 	// Delta is the rate averaging interval (default 0.2 s, the paper's
 	// 200 ms round-trip-time choice, §V-F).
 	Delta float64
-	// Workers sizes the trace-level worker pool of the measurement pass.
-	// The seven Table I traces are seeded independently, so they measure in
-	// parallel; results are reassembled in trace order, so output is
+	// Workers sizes the interval-level worker pool of the two-level
+	// measurement scheduler. Traces produce their packet streams
+	// concurrently (at most Workers traces at once, capped at the suite
+	// size) while Workers measurement workers consume the per-interval
+	// sub-streams those producers partition off — intervals are independent
+	// after the boundary split, so a long trace's intervals measure in
+	// parallel and the suite scales past one worker per trace. Results are
+	// reassembled in (trace, definition, interval) order, so output is
 	// identical at any worker count. 0 means GOMAXPROCS; 1 is sequential.
 	Workers int
 	// Quiet suppresses per-point output, keeping only summaries (used by
@@ -90,9 +95,10 @@ type Runner struct {
 	// Lazily computed.
 	stats     []IntervalStat
 	summaries []trace.Summary
-	// reference holds the flows and records of one designated interval
+	// reference holds the flow measurements of one designated interval
 	// (trace 1, interval 0) for the single-interval figures (1, 3-6, 8).
-	refRecs  []trace.Record
+	// Its packets are not buffered: RefInterval hands out a replayable
+	// trace.Window that regenerates them on demand.
 	refRes5  flow.Result
 	refResP  flow.Result
 	measured bool
@@ -125,25 +131,66 @@ func (r *Runner) linkBps() float64 {
 // suiteDefs are the two flow definitions every interval is measured under.
 var suiteDefs = []flow.Definition{flow.By5Tuple, flow.ByPrefix24}
 
+// suiteWarmup is the per-trace warm-up (seconds) that puts each generator in
+// its stationary regime before the measured window opens (see trace.Config).
+const suiteWarmup = 60
+
+// suiteConfig is the exact generator configuration the measurement pass runs
+// a trace with. RefInterval replays windows of the same configuration, so
+// every adjustment must live here — a divergence would make the replayed
+// packets disagree with the cached flow measurements.
+func suiteConfig(spec trace.TraceSpec) trace.Config {
+	cfg := spec.Config()
+	cfg.Warmup = suiteWarmup
+	return cfg
+}
+
+// intervalStreamBuffer bounds how many records an interval sub-stream holds
+// while its measurement worker lags its trace's producer; beyond it the
+// producer blocks, so suite memory stays O(workers · buffer + active flows)
+// however long the traces are.
+const intervalStreamBuffer = 4096
+
+// errAborted marks work skipped because an earlier failure already doomed
+// the measurement pass; it never surfaces when a real error exists.
+var errAborted = fmt.Errorf("aborted after earlier measurement failure")
+
 // traceResult is one trace's contribution to the suite measurement,
-// assembled by a worker and merged in trace order by measureSuite.
+// assembled by the scheduler's workers and merged in trace order by
+// measureSuite.
 type traceResult struct {
 	summary trace.Summary
-	// statsByDef holds the scatter points per definition, interval-ordered,
-	// so the merged r.stats layout is independent of worker scheduling.
-	statsByDef [][]IntervalStat
-	// Reference-interval capture (trace 1 only).
-	refRecs []trace.Record
+	// stats[idx][di] is interval idx's scatter point under suiteDefs[di]
+	// (nil when the interval was empty, sparse or degenerate). Interval
+	// workers write disjoint slots, so the merged r.stats layout is
+	// independent of scheduling.
+	stats [][]*IntervalStat
+	// Reference-interval capture (trace 1, interval 0 only).
 	refRes5 flow.Result
 	refResP flow.Result
 }
 
-// measureSuite measures every trace of the suite: each worker streams its
-// trace's generator straight into an interval splitter (both flow
-// definitions at once) and a rate binner, so records are consumed in one
-// pass and never materialised — memory per worker is O(active flows + one
-// interval). Results are merged in (trace, definition, interval) order, so
-// the cached statistics are byte-identical at any worker count.
+// intervalTask is one (trace, interval) unit of the two-level scheduler.
+type intervalTask struct {
+	ti     int
+	stream *flow.IntervalStream
+}
+
+// measureSuite measures every trace of the suite with a two-level scheduler:
+// trace producers (at most Workers at once) stream their generators through
+// an interval partitioner, and a shared pool of Workers interval workers
+// measures the partitioned per-interval sub-streams — flows under both
+// definitions, the rate binner and the model statistics all run inside the
+// interval task. Intervals are independent after the boundary split, so a
+// long trace's intervals measure concurrently instead of serially inside one
+// worker, and the suite scales past one worker per trace. No trace is ever
+// materialised: producers back-pressure on their current interval's bounded
+// sub-stream buffer, and an in-flight cap stops a producer from queueing an
+// unbounded run of small completed intervals, so resident records stay
+// O((workers + producers) · buffer) however long the traces are. Results
+// land in per-(trace, interval) slots and are merged in (trace, definition,
+// interval) order, so the cached statistics are byte-identical at any
+// worker count.
 func (r *Runner) measureSuite() error {
 	if r.measured {
 		return nil
@@ -152,28 +199,83 @@ func (r *Runner) measureSuite() error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(r.specs) {
-		workers = len(r.specs)
+	producers := workers
+	if producers > len(r.specs) {
+		producers = len(r.specs)
 	}
 	results := make([]*traceResult, len(r.specs))
-	errs := make([]error, len(r.specs))
-	var wg sync.WaitGroup
+	totalIntervals := 0
+	for ti, spec := range r.specs {
+		stats := make([][]*IntervalStat, spec.Intervals)
+		for i := range stats {
+			stats[i] = make([]*IntervalStat, len(suiteDefs))
+		}
+		results[ti] = &traceResult{stats: stats}
+		totalIntervals += spec.Intervals
+	}
+
+	// Sized to hold every interval of the suite, so a producer's handoff
+	// never blocks on the queue itself (only on the in-flight cap and its
+	// sub-stream buffer) and the producer/worker levels cannot deadlock at
+	// any worker count.
+	tasks := make(chan intervalTask, totalIntervals)
+	// inflight caps handed-off-but-unfinished interval streams. Without it,
+	// a producer whose intervals each fit inside the sub-stream buffer never
+	// blocks and queues its whole trace — materialising it. Deadlock-free:
+	// a producer only acquires at a handoff, by which point its previous
+	// stream is already closed, so every held slot is a stream some worker
+	// can finish without that producer's help.
+	inflight := make(chan struct{}, 2*(workers+producers))
+	prodErrs := make([]error, len(r.specs))
+	taskErrs := make([]error, len(r.specs))
+	var taskErrMu sync.Mutex
 	var aborted atomic.Bool
-	tis := make(chan int)
+
+	var taskWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		taskWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for ti := range tis {
-				// One failed trace aborts the traces not yet started
-				// (indices are dispatched in order, so the first error by
-				// index is always a real one, never this sentinel).
+			defer taskWG.Done()
+			for tk := range tasks {
 				if aborted.Load() {
-					errs[ti] = fmt.Errorf("aborted after earlier trace failure")
+					// Still drain the stream: its producer may be blocked
+					// mid-send on the buffer.
+					for range tk.stream.Records() {
+					}
+					<-inflight
 					continue
 				}
-				results[ti], errs[ti] = r.measureTrace(ti, r.specs[ti])
-				if errs[ti] != nil {
+				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti]); err != nil {
+					taskErrMu.Lock()
+					if taskErrs[tk.ti] == nil {
+						taskErrs[tk.ti] = fmt.Errorf("interval %d: %w", tk.stream.Index, err)
+					}
+					taskErrMu.Unlock()
+					aborted.Store(true)
+				}
+				<-inflight
+			}
+		}()
+	}
+
+	tis := make(chan int)
+	var prodWG sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			for ti := range tis {
+				// One failure aborts the traces not yet started (indices are
+				// dispatched in order, so the first error by index is always
+				// a real one, never this sentinel).
+				if aborted.Load() {
+					prodErrs[ti] = errAborted
+					continue
+				}
+				summary, err := r.produceTrace(ti, r.specs[ti], tasks, inflight, &aborted)
+				results[ti].summary = summary
+				if err != nil {
+					prodErrs[ti] = err
 					aborted.Store(true)
 				}
 			}
@@ -183,19 +285,35 @@ func (r *Runner) measureSuite() error {
 		tis <- ti
 	}
 	close(tis)
-	wg.Wait()
-	for ti, err := range errs {
-		if err != nil {
-			return fmt.Errorf("experiments: measuring %s: %w", r.specs[ti].Name, err)
+	prodWG.Wait()
+	close(tasks)
+	taskWG.Wait()
+
+	var firstErr error
+	var firstName string
+	for ti := range r.specs {
+		for _, err := range []error{prodErrs[ti], taskErrs[ti]} {
+			if err == nil || err == errAborted {
+				continue
+			}
+			if firstErr == nil {
+				firstErr, firstName = err, r.specs[ti].Name
+			}
 		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("experiments: measuring %s: %w", firstName, firstErr)
 	}
 	for ti, tr := range results {
 		r.summaries = append(r.summaries, tr.summary)
 		for di := range suiteDefs {
-			r.stats = append(r.stats, tr.statsByDef[di]...)
+			for _, slots := range tr.stats {
+				if s := slots[di]; s != nil {
+					r.stats = append(r.stats, *s)
+				}
+			}
 		}
 		if ti == 0 {
-			r.refRecs = tr.refRecs
 			r.refRes5 = tr.refRes5
 			r.refResP = tr.refResP
 		}
@@ -204,70 +322,93 @@ func (r *Runner) measureSuite() error {
 	return nil
 }
 
-// measureTrace streams one trace through the one-pass measurement pipeline.
-// It is called concurrently by measureSuite's workers and only reads shared
-// Runner state.
-func (r *Runner) measureTrace(ti int, spec trace.TraceSpec) (*traceResult, error) {
-	link := r.linkBps()
-	cfg := spec.Config()
-	// Warm-up puts each trace in stationary regime (see trace.Config).
-	cfg.Warmup = 60
+// produceTrace is the scheduler's first level: it streams one trace's
+// generator through an interval partitioner, enqueueing each interval's
+// sub-stream as a task the moment it opens. It blocks when its current
+// interval's buffer fills, so generation never outruns measurement by more
+// than the buffer.
+func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- intervalTask, inflight chan struct{}, aborted *atomic.Bool) (trace.Summary, error) {
+	cfg := suiteConfig(spec)
 	g, err := trace.NewGenerator(cfg)
 	if err != nil {
-		return nil, err
+		return trace.Summary{}, err
 	}
-	binner, err := timeseries.NewBinner(spec.IntervalSec, r.opts.Delta)
+	part, err := flow.NewIntervalPartitioner(spec.IntervalSec, cfg.Duration, intervalStreamBuffer,
+		func(is *flow.IntervalStream) error {
+			// Bail out between intervals once the pass is doomed, instead
+			// of generating the rest of a long trace nobody will read.
+			if aborted.Load() {
+				return errAborted
+			}
+			inflight <- struct{}{}
+			tasks <- intervalTask{ti: ti, stream: is}
+			return nil
+		})
 	if err != nil {
-		return nil, err
-	}
-	tr := &traceResult{statsByDef: make([][]IntervalStat, len(suiteDefs))}
-	emit := func(iv flow.IntervalSet) error {
-		for di, def := range suiteDefs {
-			if len(iv.Results[di].Flows) < minIntervalFlows {
-				continue // empty or sparse interval: skip before snapshotting
-			}
-			ivr := flow.IntervalResult{Index: iv.Index, Start: iv.Start, Result: iv.Results[di]}
-			// Each definition subtracts its own discarded packets, so it
-			// gets its own snapshot of the interval's rate series.
-			stat, err := r.intervalStat(spec, ivr, def, binner.Series())
-			if err != nil {
-				continue // degenerate interval: skip the point
-			}
-			stat.linkBps = link
-			tr.statsByDef[di] = append(tr.statsByDef[di], stat)
-			if ti == 0 && iv.Index == 0 {
-				if def == flow.By5Tuple {
-					tr.refRes5 = ivr.Result
-				} else {
-					tr.refResP = ivr.Result
-				}
-			}
-		}
-		binner.Reset()
-		return nil
-	}
-	split, err := flow.NewIntervalSplitter(suiteDefs, spec.IntervalSec, flow.DefaultTimeout, emit)
-	if err != nil {
-		return nil, err
+		return trace.Summary{}, err
 	}
 	for rec := range g.Records() {
-		// The splitter flushes completed intervals (resetting the binner
-		// via emit) before the record lands, so bin against the splitter's
-		// current interval origin after Add.
-		if err := split.Add(rec); err != nil {
-			return nil, err
-		}
-		binner.Add(rec.Time-split.Origin(), rec.Bits())
-		if ti == 0 && rec.Time < spec.IntervalSec {
-			// Keep the first interval's packets for the reference figures.
-			tr.refRecs = append(tr.refRecs, rec)
+		if err := part.Add(rec); err != nil {
+			part.Abort()
+			return g.Stats(), err
 		}
 	}
-	if err := split.Close(); err != nil {
-		return nil, err
+	if err := part.Close(); err != nil {
+		return g.Stats(), err
 	}
-	tr.summary = g.Stats()
-	return tr, nil
+	return g.Stats(), nil
+}
+
+// measureInterval is the scheduler's second level: it owns one interval
+// outright — fresh assemblers for both flow definitions, its own rate
+// binner, and the model statistics — so intervals of the same trace measure
+// concurrently. The sub-stream is always drained to completion (even on
+// error or skip), so the producing trace is never left blocked.
+func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResult) error {
+	spec := r.specs[ti]
+	binner, err := timeseries.NewBinner(spec.IntervalSec, r.opts.Delta)
+	if err != nil {
+		for range is.Records() {
+		}
+		return err
+	}
+	// Bin in the same drain that feeds the assemblers: records are
+	// interval-local already, exactly what both consumers want.
+	binned := func(yield func(trace.Record) bool) {
+		for rec := range is.Records() {
+			binner.Add(rec.Time, rec.Bits())
+			if !yield(rec) {
+				return
+			}
+		}
+	}
+	results, err := flow.MeasureStream(binned, suiteDefs, flow.DefaultTimeout)
+	if err != nil {
+		return err
+	}
+	link := r.linkBps()
+	for di, def := range suiteDefs {
+		if len(results[di].Flows) < minIntervalFlows {
+			continue // empty or sparse interval: skip before snapshotting
+		}
+		ivr := flow.IntervalResult{Index: is.Index, Start: is.Start, Result: results[di]}
+		// Each definition subtracts its own discarded packets, so it gets
+		// its own snapshot of the interval's rate series.
+		stat, err := r.intervalStat(spec, ivr, def, binner.Series())
+		if err != nil {
+			continue // degenerate interval: skip the point
+		}
+		stat.linkBps = link
+		tr.stats[is.Index][di] = &stat
+		if ti == 0 && is.Index == 0 {
+			if def == flow.By5Tuple {
+				tr.refRes5 = ivr.Result
+			} else {
+				tr.refResP = ivr.Result
+			}
+		}
+	}
+	return nil
 }
 
 // minIntervalFlows is the fewest multi-packet flows an interval needs to
@@ -340,13 +481,19 @@ func (r *Runner) Stats(def flow.Definition) ([]IntervalStat, error) {
 	return out, nil
 }
 
-// RefInterval returns the designated reference interval's packets and both
-// flow measurements (trace 1, interval 0).
-func (r *Runner) RefInterval() ([]trace.Record, flow.Result, flow.Result, error) {
+// RefInterval returns the designated reference interval (trace 1,
+// interval 0): a replayable window over its packets plus both flow
+// measurements. The window regenerates the packets deterministically on
+// demand, so no per-interval record buffer outlives the measurement pass.
+func (r *Runner) RefInterval() (trace.Window, flow.Result, flow.Result, error) {
 	if err := r.measureSuite(); err != nil {
-		return nil, flow.Result{}, flow.Result{}, err
+		return trace.Window{}, flow.Result{}, flow.Result{}, err
 	}
-	return r.refRecs, r.refRes5, r.refResP, nil
+	win, err := trace.NewWindow(suiteConfig(r.specs[0]), 0, r.specs[0].IntervalSec)
+	if err != nil {
+		return trace.Window{}, flow.Result{}, flow.Result{}, err
+	}
+	return win, r.refRes5, r.refResP, nil
 }
 
 // Summaries returns the per-trace generator summaries.

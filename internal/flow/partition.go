@@ -1,0 +1,243 @@
+package flow
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/trace"
+)
+
+// streamBatch is how many records travel per channel operation between a
+// partitioner and an interval consumer: large enough to amortise the channel
+// synchronisation to noise per record, small enough that a batch is a
+// fraction of an interval.
+const streamBatch = 512
+
+// IntervalStream is one analysis interval's sub-stream of a partitioned
+// record stream. Record times are rebased to the interval start. The stream
+// is produced concurrently with consumption: the partitioner keeps sending
+// record batches while a consumer drains Records, and closes the stream at
+// the interval boundary.
+type IntervalStream struct {
+	Index   int
+	Start   float64
+	batches chan []trace.Record
+}
+
+// Records returns the interval's packets in time order, interval-local.
+// The sequence is single-use and must be ranged to completion (breaking
+// early still drains the remainder internally, so the producing partitioner
+// never blocks on an abandoned stream).
+func (is *IntervalStream) Records() iter.Seq[trace.Record] {
+	return func(yield func(trace.Record) bool) {
+		for batch := range is.batches {
+			for _, rec := range batch {
+				if !yield(rec) {
+					for range is.batches {
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// IntervalPartitioner is the splitter's partition mode: instead of feeding
+// flow assemblers inline, it splits a time-ordered record stream at analysis
+// interval boundaries into interval-local sub-streams and hands each one to
+// the handoff callback the moment the interval opens. Intervals are
+// independent after the boundary split, so a scheduler can measure many of a
+// trace's intervals concurrently while the (inherently serial, deterministic)
+// producer keeps generating — the intra-trace sharding that takes the suite
+// past one worker per trace.
+//
+// Interval accounting matches IntervalSplitter exactly: empty intervals
+// between packets are emitted (immediately-closed streams), and with a
+// declared duration every interval up to ⌈duration/intervalSec⌉ exists even
+// if the trace goes quiet early. Records travel in batches to amortise the
+// channel synchronisation, and a sub-stream holds at most ~buffer records
+// in flight, so a slow consumer back-pressures the producer instead of
+// letting memory grow with the trace.
+type IntervalPartitioner struct {
+	clock   intervalClock
+	batches int // channel capacity of each sub-stream, in batches
+	handoff func(*IntervalStream) error
+	cur     *IntervalStream
+	pend    []trace.Record // current interval's not-yet-sent batch
+	closed  bool
+}
+
+// NewIntervalPartitioner builds a partitioner over intervals of intervalSec.
+// duration, when positive, declares the trace length so trailing empty
+// intervals are emitted and out-of-range packets rejected (0 derives the end
+// from the last packet, like a splitter without SetDuration). handoff
+// receives each interval's stream as it opens and must not block
+// indefinitely: records only flow into a stream after its handoff returns.
+func NewIntervalPartitioner(intervalSec, duration float64, buffer int, handoff func(*IntervalStream) error) (*IntervalPartitioner, error) {
+	clock, err := newIntervalClock(intervalSec)
+	if err != nil {
+		return nil, err
+	}
+	if duration != 0 {
+		if err := clock.setDuration(duration); err != nil {
+			return nil, err
+		}
+	}
+	if buffer <= 0 {
+		return nil, fmt.Errorf("flow: partitioner buffer must be > 0, got %d", buffer)
+	}
+	if handoff == nil {
+		return nil, fmt.Errorf("flow: partitioner needs a handoff callback")
+	}
+	batches := buffer / streamBatch
+	if batches < 1 {
+		batches = 1
+	}
+	return &IntervalPartitioner{clock: clock, batches: batches, handoff: handoff}, nil
+}
+
+// open starts the stream of the clock's current interval and hands it off.
+func (p *IntervalPartitioner) open() error {
+	s := &IntervalStream{
+		Index:   p.clock.cur,
+		Start:   p.clock.origin(),
+		batches: make(chan []trace.Record, p.batches),
+	}
+	p.cur = s
+	return p.handoff(s)
+}
+
+// flushPend sends the current interval's pending batch; the consumer owns
+// the sent slice, so the next batch starts fresh.
+func (p *IntervalPartitioner) flushPend() {
+	if len(p.pend) > 0 {
+		p.cur.batches <- p.pend
+		p.pend = nil
+	}
+}
+
+// advance closes the current interval's stream and opens the next.
+func (p *IntervalPartitioner) advance() error {
+	p.flushPend()
+	close(p.cur.batches)
+	p.clock.cur++
+	return p.open()
+}
+
+// Add routes one packet into its interval's sub-stream, opening (and closing)
+// intervals as boundaries pass. Packets must arrive in non-decreasing time
+// order with non-negative timestamps. Add blocks when the interval's buffer
+// is full until the consumer catches up.
+func (p *IntervalPartitioner) Add(rec trace.Record) error {
+	idx, err := p.clock.place(rec.Time)
+	if err != nil {
+		return err
+	}
+	if p.cur == nil {
+		if err := p.open(); err != nil {
+			return err
+		}
+	}
+	for p.clock.cur < idx {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	rec.Time -= p.clock.origin()
+	if p.pend == nil {
+		p.pend = make([]trace.Record, 0, streamBatch)
+	}
+	p.pend = append(p.pend, rec)
+	if len(p.pend) == streamBatch {
+		p.cur.batches <- p.pend
+		p.pend = nil
+	}
+	return nil
+}
+
+// Close emits the remaining intervals — through the one containing the last
+// packet, or through ⌈duration/intervalSec⌉ when a duration was declared
+// (a partitioner with a duration and no packets still emits every interval,
+// all empty). The partitioner must not be used after Close.
+func (p *IntervalPartitioner) Close() error {
+	if p.closed {
+		return nil
+	}
+	total := p.clock.total()
+	if total == 0 {
+		p.closed = true
+		return nil
+	}
+	if p.cur == nil {
+		if err := p.open(); err != nil {
+			p.Abort()
+			return err
+		}
+	}
+	for p.clock.cur < total-1 {
+		if err := p.advance(); err != nil {
+			p.Abort()
+			return err
+		}
+	}
+	p.flushPend()
+	close(p.cur.batches)
+	p.cur = nil
+	p.closed = true
+	return nil
+}
+
+// Abort closes the in-flight interval's stream without emitting the rest,
+// releasing any consumer blocked on it (already-accepted records are still
+// delivered). Use it when the producing stream fails mid-trace; consumers
+// of already-handed-off streams see them end early. The partitioner must
+// not be used after Abort.
+func (p *IntervalPartitioner) Abort() {
+	if p.closed {
+		return
+	}
+	if p.cur != nil {
+		p.flushPend()
+		close(p.cur.batches)
+		p.cur = nil
+	}
+	p.closed = true
+}
+
+// MeasureStream assembles one interval-local record stream (times already
+// rebased, non-decreasing) into flows under several definitions at once —
+// the per-interval measurement unit of the two-level scheduler. The stream
+// is always drained to completion, even after an error, so a concurrent
+// producer is never left blocked; the first error is returned after the
+// drain. Results are index-aligned with defs.
+func MeasureStream(recs iter.Seq[trace.Record], defs []Definition, timeout float64) ([]Result, error) {
+	asm := make([]streamMeasurer, len(defs))
+	var firstErr error
+	for i, def := range defs {
+		a, err := newMeasurer(def, timeout)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		asm[i] = a
+	}
+	for rec := range recs {
+		if firstErr != nil {
+			continue
+		}
+		for _, a := range asm {
+			if err := a.Add(rec); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]Result, len(asm))
+	for i, a := range asm {
+		out[i] = a.Flush()
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package flow
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// partitionMeasure runs recs through a partitioner, measuring each
+// interval's stream under def in a goroutine (a stream only closes when the
+// next interval opens, so the handoff must not wait on its own interval),
+// and harvests the results in handoff order after Close.
+func partitionMeasure(t *testing.T, recs []trace.Record, def Definition, intervalSec, duration float64) []IntervalResult {
+	t.Helper()
+	var pending []chan IntervalResult
+	p, err := NewIntervalPartitioner(intervalSec, duration, 16, func(is *IntervalStream) error {
+		res := make(chan IntervalResult, 1)
+		go func() {
+			results, err := MeasureStream(is.Records(), []Definition{def}, DefaultTimeout)
+			if err != nil {
+				t.Error(err)
+				results = []Result{{}}
+			}
+			res <- IntervalResult{Index: is.Index, Start: is.Start, Result: results[0]}
+		}()
+		pending = append(pending, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := p.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]IntervalResult, 0, len(pending))
+	for _, res := range pending {
+		out = append(out, <-res)
+	}
+	return out
+}
+
+// The partition mode must account intervals exactly like the splitter: same
+// interval count, same flows, same rebased times, for a realistic stream.
+func TestIntervalPartitionerMatchesMeasureIntervals(t *testing.T) {
+	recs := syntheticRecs(t)
+	const intervalSec = 10.0
+	for _, def := range []Definition{By5Tuple, ByPrefix24} {
+		want, err := MeasureIntervals(recs, def, intervalSec, DefaultTimeout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := partitionMeasure(t, recs, def, intervalSec, 0)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d intervals, want %d", def, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index || got[i].Start != want[i].Start {
+				t.Fatalf("%s: interval %d header mismatch", def, i)
+			}
+			if !sameResults(got[i].Result, want[i].Result) {
+				t.Fatalf("%s: interval %d flows differ from splitter path", def, i)
+			}
+		}
+	}
+}
+
+// Concurrent consumers (one goroutine per interval, like the suite's
+// scheduler) must see exactly the same sub-streams as serial consumption.
+func TestIntervalPartitionerConcurrentConsumers(t *testing.T) {
+	recs := syntheticRecs(t)
+	const intervalSec = 10.0
+	const duration = 40.0
+	want, err := MeasureIntervals(recs, By5Tuple, intervalSec, DefaultTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]Result, len(want))
+	var wg sync.WaitGroup
+	p, err := NewIntervalPartitioner(intervalSec, duration, 8, func(is *IntervalStream) error {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := MeasureStream(is.Records(), []Definition{By5Tuple}, DefaultTimeout)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[is.Index] = res[0]
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := p.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := range want {
+		if !sameResults(results[i], want[i].Result) {
+			t.Fatalf("interval %d differs under concurrent consumption", i)
+		}
+	}
+}
+
+// With a declared duration, a stream that goes quiet early still hands off
+// every interval — the trailing ones as immediately-closed empty streams.
+func TestIntervalPartitionerTrailingQuietIntervals(t *testing.T) {
+	recs := []trace.Record{
+		rec(0.5, 1, 1, 1000, 100),
+		rec(1.0, 1, 1, 1000, 100),
+	}
+	var indices []int
+	counts := make(chan [2]int, 8) // (index, records drained)
+	p, err := NewIntervalPartitioner(10, 50, 4, func(is *IntervalStream) error {
+		indices = append(indices, is.Index)
+		go func() {
+			n := 0
+			for range is.Records() {
+				n++
+			}
+			counts <- [2]int{is.Index, n}
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := p.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != 5 {
+		t.Fatalf("handed off %d intervals, want 5 (⌈50/10⌉)", len(indices))
+	}
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("interval %d handed off as index %d", i, idx)
+		}
+	}
+	got := map[int]int{}
+	for range indices {
+		c := <-counts
+		got[c[0]] = c[1]
+	}
+	want := map[int]int{0: 2, 1: 0, 2: 0, 3: 0, 4: 0}
+	for idx, n := range want {
+		if got[idx] != n {
+			t.Fatalf("interval %d drained %d records, want %d", idx, got[idx], n)
+		}
+	}
+}
+
+// Negative timestamps are rejected in partition mode too.
+func TestIntervalPartitionerRejectsNegativeTime(t *testing.T) {
+	p, err := NewIntervalPartitioner(10, 0, 4, func(is *IntervalStream) error {
+		go func() {
+			for range is.Records() {
+			}
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(rec(-1, 1, 1, 1000, 100)); err == nil {
+		t.Fatal("negative-time packet should be rejected")
+	}
+	p.Abort()
+}
+
+// Abort must close the in-flight stream so a blocked consumer terminates,
+// and further Close calls must be no-ops.
+func TestIntervalPartitionerAbort(t *testing.T) {
+	drained := make(chan int, 1)
+	p, err := NewIntervalPartitioner(10, 0, 4, func(is *IntervalStream) error {
+		go func() {
+			n := 0
+			for range is.Records() {
+				n++
+			}
+			drained <- n
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(rec(1, 1, 1, 1000, 100)); err != nil {
+		t.Fatal(err)
+	}
+	p.Abort()
+	if n := <-drained; n != 1 {
+		t.Fatalf("consumer drained %d records, want 1", n)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("Close after Abort should be a no-op, got", err)
+	}
+}
+
+// MeasureStream must honour its always-drain contract even when assembler
+// construction fails — otherwise a concurrent producer blocks forever on
+// the undrained stream.
+func TestMeasureStreamDrainsOnBadDefinition(t *testing.T) {
+	consumed := 0
+	seq := func(yield func(trace.Record) bool) {
+		for i := 0; i < 5; i++ {
+			consumed++
+			if !yield(rec(float64(i), 1, 1, 1000, 100)) {
+				return
+			}
+		}
+	}
+	if _, err := MeasureStream(seq, []Definition{Definition(99)}, DefaultTimeout); err == nil {
+		t.Fatal("unknown definition should be rejected")
+	}
+	if consumed != 5 {
+		t.Fatalf("stream drained %d of 5 records on the error path", consumed)
+	}
+}
+
+// An exactly-divisible duration whose float ratio lands a few ulp above the
+// integer (e.g. 7×0.3/0.3 = 8 under Ceil) must not invent a phantom
+// interval: the count drives scheduler bookkeeping sized to the true total.
+func TestIntervalClockFloatRobustTotal(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		ivl float64
+	}{
+		{7, 0.3}, {14, 0.3}, {28, 0.3}, {61, 0.3}, {79, 120}, {3, 0.1},
+	} {
+		var count int
+		s, err := NewIntervalSplitter([]Definition{By5Tuple}, tc.ivl, DefaultTimeout,
+			func(IntervalSet) error { count++; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetDuration(float64(tc.n) * tc.ivl); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(rec(tc.ivl/2, 1, 1, 1000, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if count != tc.n {
+			t.Fatalf("duration %d×%g emitted %d intervals, want %d", tc.n, tc.ivl, count, tc.n)
+		}
+	}
+}
+
+func TestIntervalPartitionerValidation(t *testing.T) {
+	handoff := func(*IntervalStream) error { return nil }
+	if _, err := NewIntervalPartitioner(0, 0, 4, handoff); err == nil {
+		t.Fatal("zero interval should be rejected")
+	}
+	if _, err := NewIntervalPartitioner(10, -1, 4, handoff); err == nil {
+		t.Fatal("negative duration should be rejected")
+	}
+	if _, err := NewIntervalPartitioner(10, 0, 0, handoff); err == nil {
+		t.Fatal("zero buffer should be rejected")
+	}
+	if _, err := NewIntervalPartitioner(10, 0, 4, nil); err == nil {
+		t.Fatal("nil handoff should be rejected")
+	}
+}

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/netpkt"
 	"repro/internal/trace"
@@ -30,6 +31,98 @@ func newMeasurer(def Definition, timeout float64) (streamMeasurer, error) {
 	}
 }
 
+// intervalClock is the interval-boundary arithmetic shared by
+// IntervalSplitter and IntervalPartitioner: it validates the packet stream
+// (time order, non-negative times, the declared trace duration) and tracks
+// which analysis interval is currently being fed, so both consumers account
+// intervals identically.
+type intervalClock struct {
+	intervalSec float64
+	duration    float64 // 0 = derive the trace end from the last packet
+	intervals   int     // interval count implied by duration; 0 = unbounded
+	cur         int     // index of the interval currently being fed
+	started     bool
+	lastTime    float64
+}
+
+func newIntervalClock(intervalSec float64) (intervalClock, error) {
+	if !(intervalSec > 0) {
+		return intervalClock{}, fmt.Errorf("flow: interval must be > 0, got %g", intervalSec)
+	}
+	return intervalClock{intervalSec: intervalSec}, nil
+}
+
+// setDuration declares the total trace duration, so the stream accounts
+// exactly ⌈duration/intervalSec⌉ intervals: trailing intervals with no
+// packets are still emitted (a link that goes quiet is data, not a shorter
+// trace), and packets at or beyond the duration are rejected.
+func (c *intervalClock) setDuration(d float64) error {
+	if !(d > 0) {
+		return fmt.Errorf("flow: trace duration must be > 0, got %g", d)
+	}
+	if c.started {
+		return fmt.Errorf("flow: trace duration must be declared before the first packet")
+	}
+	c.duration = d
+	// ⌈duration/intervalSec⌉, computed once and robust to float rounding: an
+	// exactly-divisible duration often divides to n ± a few ulp, and a bare
+	// Ceil of n+ulp would invent a phantom (n+1)-th interval. The relative
+	// shrink is far above one ulp and far below any real fractional
+	// interval, so only rounding artefacts are absorbed.
+	c.intervals = int(math.Ceil(d / c.intervalSec * (1 - 1e-9)))
+	if c.intervals < 1 {
+		c.intervals = 1
+	}
+	return nil
+}
+
+// place validates one packet time and returns the index of its interval.
+func (c *intervalClock) place(t float64) (int, error) {
+	// Times in (-intervalSec, 0) would otherwise truncate into interval 0
+	// with a negative interval-local time, silently biasing its statistics.
+	if t < 0 {
+		return 0, fmt.Errorf("flow: packet time %g is negative (before the trace origin)", t)
+	}
+	if c.started && t < c.lastTime {
+		return 0, fmt.Errorf("flow: packet out of order: %g after %g", t, c.lastTime)
+	}
+	// Reject packets beyond the declared duration — but not the rounding
+	// sliver at the boundary itself: a generator computing times as
+	// (absolute − warmup) can round a legitimate final packet up to exactly
+	// the duration (or an ulp past it), and aborting the whole stream over a
+	// float artefact would be wrong. Such packets fold into the final
+	// interval via the clamp below.
+	if c.duration > 0 && t >= c.duration && t >= c.duration*(1+1e-9) {
+		return 0, fmt.Errorf("flow: packet time %g beyond the declared trace duration %g", t, c.duration)
+	}
+	c.started = true
+	c.lastTime = t
+	idx := int(t / c.intervalSec)
+	// A packet in the last ulp-sliver of a declared duration can divide to
+	// the interval count itself (t/intervalSec ≥ n); clamp it into the
+	// final interval rather than index past it.
+	if c.intervals > 0 && idx >= c.intervals {
+		idx = c.intervals - 1
+	}
+	return idx, nil
+}
+
+// origin returns the start time of the interval currently being fed.
+func (c *intervalClock) origin() float64 { return float64(c.cur) * c.intervalSec }
+
+// total returns how many intervals the stream must have emitted once it is
+// closed: every interval within the declared duration, or — when no duration
+// was declared — through the interval containing the last packet.
+func (c *intervalClock) total() int {
+	if c.intervals > 0 {
+		return c.intervals
+	}
+	if !c.started {
+		return 0
+	}
+	return c.cur + 1
+}
+
 // IntervalSet is the simultaneous measurement of one analysis interval under
 // every definition of a splitter; Results is index-aligned with the defs the
 // splitter was built with. Flow times are relative to the interval start.
@@ -52,22 +145,20 @@ type IntervalSet struct {
 // intervals — including empty ones between packets, which are data, not gaps
 // — are handed to the emit callback in index order.
 type IntervalSplitter struct {
-	defs        []Definition
-	intervalSec float64
-	timeout     float64
-	emit        func(IntervalSet) error
+	defs    []Definition
+	clock   intervalClock
+	timeout float64
+	emit    func(IntervalSet) error
 
-	asm      []streamMeasurer
-	cur      int // index of the interval packets are currently feeding
-	started  bool
-	lastTime float64
+	asm []streamMeasurer
 }
 
 // NewIntervalSplitter builds a splitter over the given definitions. emit is
 // called once per completed interval, in order; its error aborts the stream.
 func NewIntervalSplitter(defs []Definition, intervalSec, timeout float64, emit func(IntervalSet) error) (*IntervalSplitter, error) {
-	if !(intervalSec > 0) {
-		return nil, fmt.Errorf("flow: interval must be > 0, got %g", intervalSec)
+	clock, err := newIntervalClock(intervalSec)
+	if err != nil {
+		return nil, err
 	}
 	if len(defs) == 0 {
 		return nil, fmt.Errorf("flow: splitter needs at least one definition")
@@ -76,15 +167,23 @@ func NewIntervalSplitter(defs []Definition, intervalSec, timeout float64, emit f
 		return nil, fmt.Errorf("flow: splitter needs an emit callback")
 	}
 	s := &IntervalSplitter{
-		defs:        defs,
-		intervalSec: intervalSec,
-		timeout:     timeout,
-		emit:        emit,
+		defs:    defs,
+		clock:   clock,
+		timeout: timeout,
+		emit:    emit,
 	}
 	if err := s.resetAssemblers(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// SetDuration declares the total trace duration, before the first Add. Close
+// then flushes every interval up to ⌈duration/intervalSec⌉ — without it,
+// trailing intervals with no packets would never be emitted and a trace that
+// goes quiet early would under-count its zero-rate intervals.
+func (s *IntervalSplitter) SetDuration(d float64) error {
+	return s.clock.setDuration(d)
 }
 
 // resetAssemblers starts the next interval with empty flow state (the
@@ -107,13 +206,13 @@ func (s *IntervalSplitter) resetAssemblers() error {
 // offset a caller subtracts to rebase a just-Added record into the
 // interval's local time frame (e.g. to rate-bin it in the same pass).
 // Query it after Add, which may have advanced the interval.
-func (s *IntervalSplitter) Origin() float64 { return float64(s.cur) * s.intervalSec }
+func (s *IntervalSplitter) Origin() float64 { return s.clock.origin() }
 
 // flushCurrent emits the current interval and re-arms the assemblers.
 func (s *IntervalSplitter) flushCurrent() error {
 	set := IntervalSet{
-		Index:   s.cur,
-		Start:   float64(s.cur) * s.intervalSec,
+		Index:   s.clock.cur,
+		Start:   s.clock.origin(),
 		Results: make([]Result, len(s.asm)),
 	}
 	for i, a := range s.asm {
@@ -122,25 +221,24 @@ func (s *IntervalSplitter) flushCurrent() error {
 	if err := s.emit(set); err != nil {
 		return err
 	}
-	s.cur++
+	s.clock.cur++
 	return s.resetAssemblers()
 }
 
-// Add consumes one packet. Packets must arrive in non-decreasing time order;
-// a packet in a later interval first flushes every interval before it.
+// Add consumes one packet. Packets must arrive in non-decreasing time order
+// with non-negative timestamps; a packet in a later interval first flushes
+// every interval before it.
 func (s *IntervalSplitter) Add(rec trace.Record) error {
-	if s.started && rec.Time < s.lastTime {
-		return fmt.Errorf("flow: packet out of order: %g after %g", rec.Time, s.lastTime)
+	idx, err := s.clock.place(rec.Time)
+	if err != nil {
+		return err
 	}
-	s.started = true
-	s.lastTime = rec.Time
-	idx := int(rec.Time / s.intervalSec)
-	for s.cur < idx {
+	for s.clock.cur < idx {
 		if err := s.flushCurrent(); err != nil {
 			return err
 		}
 	}
-	rec.Time -= float64(s.cur) * s.intervalSec
+	rec.Time -= s.clock.origin()
 	for _, a := range s.asm {
 		if err := a.Add(rec); err != nil {
 			return err
@@ -149,12 +247,17 @@ func (s *IntervalSplitter) Add(rec trace.Record) error {
 	return nil
 }
 
-// Close flushes the final interval (the one containing the last packet). A
-// splitter that never saw a packet emits nothing, matching the materialised
-// path on an empty record set. The splitter must not be reused after Close.
+// Close flushes the remaining intervals: through the one containing the last
+// packet, or — when SetDuration was called — through ⌈duration/intervalSec⌉
+// so trailing zero-rate intervals are emitted too. A splitter with no
+// declared duration that never saw a packet emits nothing, matching the
+// materialised path on an empty record set. The splitter must not be reused
+// after Close.
 func (s *IntervalSplitter) Close() error {
-	if !s.started {
-		return nil
+	for total := s.clock.total(); s.clock.cur < total; {
+		if err := s.flushCurrent(); err != nil {
+			return err
+		}
 	}
-	return s.flushCurrent()
+	return nil
 }

@@ -179,6 +179,126 @@ func TestIntervalSplitterEmptyIntervals(t *testing.T) {
 	}
 }
 
+// A trace that goes quiet early must still emit its trailing zero-rate
+// intervals: they are measurements (a dead link), not gaps, and dropping
+// them biases the interval accounting eq. (7) is fitted against.
+func TestIntervalSplitterTrailingQuietIntervals(t *testing.T) {
+	// 50 s declared duration, 10 s intervals, last packet at t = 12: without
+	// the duration the splitter stops after interval 1; with it, intervals
+	// 2-4 must be flushed empty.
+	recs := []trace.Record{
+		rec(0.5, 1, 1, 1000, 100),
+		rec(1.0, 1, 1, 1000, 100),
+		rec(12.0, 2, 2, 2000, 100),
+		rec(12.5, 2, 2, 2000, 100),
+	}
+	var sets []IntervalSet
+	s, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout, func(iv IntervalSet) error {
+		sets = append(sets, iv)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDuration(50); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := s.Add(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 5 {
+		t.Fatalf("got %d intervals, want 5 (⌈50/10⌉)", len(sets))
+	}
+	for i, iv := range sets {
+		if iv.Index != i || iv.Start != float64(i)*10 {
+			t.Fatalf("interval %d has index %d start %g", i, iv.Index, iv.Start)
+		}
+	}
+	for _, i := range []int{2, 3, 4} {
+		if n := len(sets[i].Results[0].Flows) + len(sets[i].Results[0].Discarded); n != 0 {
+			t.Fatalf("trailing interval %d not empty: %d flows+discards", i, n)
+		}
+	}
+	if len(sets[0].Results[0].Flows) != 1 || len(sets[1].Results[0].Flows) != 1 {
+		t.Fatal("leading intervals lost their flows")
+	}
+}
+
+// A declared duration on a splitter that never sees a packet still emits
+// every interval (all empty) — the whole trace was quiet, not absent.
+func TestIntervalSplitterDurationNoPackets(t *testing.T) {
+	var count int
+	s, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout, func(iv IntervalSet) error {
+		if iv.Index != count {
+			t.Fatalf("interval %d emitted out of order as %d", count, iv.Index)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDuration(25); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("got %d intervals, want 3 (⌈25/10⌉)", count)
+	}
+}
+
+// Negative timestamps must be rejected: int(t/interval) truncates times in
+// (-interval, 0) into interval 0 with a negative interval-local time,
+// silently corrupting its rate series and flow statistics.
+func TestIntervalSplitterRejectsNegativeTime(t *testing.T) {
+	s, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout,
+		func(IntervalSet) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rec(-0.5, 1, 1, 1000, 100)); err == nil {
+		t.Fatal("negative-time packet should be rejected")
+	}
+}
+
+func TestIntervalSplitterDurationValidation(t *testing.T) {
+	emit := func(IntervalSet) error { return nil }
+	s, err := NewIntervalSplitter([]Definition{By5Tuple}, 10, DefaultTimeout, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDuration(0); err == nil {
+		t.Fatal("zero duration should be rejected")
+	}
+	if err := s.SetDuration(30); err != nil {
+		t.Fatal(err)
+	}
+	// Packets genuinely beyond the declared duration break the interval
+	// count invariant and must be rejected...
+	if err := s.Add(rec(31, 1, 1, 1000, 100)); err == nil {
+		t.Fatal("packet beyond the duration should be rejected")
+	}
+	// ...but the rounding sliver at the boundary itself (a generator's
+	// absolute−warmup subtraction can round a final packet to exactly the
+	// duration) folds into the last interval instead of aborting the trace.
+	if err := s.Add(rec(30, 1, 1, 1000, 100)); err != nil {
+		t.Fatalf("boundary-sliver packet rejected: %v", err)
+	}
+	if err := s.SetDuration(40); err == nil {
+		t.Fatal("duration change after the first packet should be rejected")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIntervalSplitterValidation(t *testing.T) {
 	emit := func(IntervalSet) error { return nil }
 	if _, err := NewIntervalSplitter([]Definition{By5Tuple}, 0, DefaultTimeout, emit); err == nil {

@@ -7,6 +7,7 @@ package timeseries
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"repro/internal/flow"
@@ -89,6 +90,19 @@ func Bin(recs []trace.Record, duration, delta float64) (Series, error) {
 	}
 	for i := range recs {
 		b.AddRecord(recs[i])
+	}
+	return b.Series(), nil
+}
+
+// BinStream bins a record iterator (e.g. a replayable trace.Window
+// sub-stream) without materialising it: the streaming counterpart of Bin.
+func BinStream(recs iter.Seq[trace.Record], duration, delta float64) (Series, error) {
+	b, err := NewBinner(duration, delta)
+	if err != nil {
+		return Series{}, err
+	}
+	for rec := range recs {
+		b.AddRecord(rec)
 	}
 	return b.Series(), nil
 }

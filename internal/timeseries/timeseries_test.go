@@ -89,6 +89,81 @@ func TestSubtractDiscarded(t *testing.T) {
 	}
 }
 
+func TestSubtractEdgeCases(t *testing.T) {
+	// Four bins of 0.25 s over [0, 1), each carrying 1000 bits/bin-width.
+	mk := func() Series {
+		return Series{Delta: 0.25, Rate: []float64{4000, 4000, 4000, 4000}}
+	}
+
+	// A discard exactly on a bin boundary belongs to the bin it opens
+	// (t ∈ [kΔ, (k+1)Δ)), not the one it closes.
+	s := mk()
+	s.Subtract([]flow.DiscardedPacket{{Time: 0.5, Bits: 250}})
+	if s.Rate[1] != 4000 {
+		t.Fatalf("bin 1 touched by boundary discard: %g", s.Rate[1])
+	}
+	if s.Rate[2] != 4000-250/0.25 {
+		t.Fatalf("bin 2 after boundary discard = %g, want %g", s.Rate[2], 4000-250/0.25)
+	}
+
+	// t = 0 is a boundary too: it must land in bin 0, not be dropped.
+	s = mk()
+	s.Subtract([]flow.DiscardedPacket{{Time: 0, Bits: 250}})
+	if s.Rate[0] != 3000 {
+		t.Fatalf("bin 0 after t=0 discard = %g, want 3000", s.Rate[0])
+	}
+
+	// A discard at the series end (t = n·Δ) is past the last bin: ignored.
+	s = mk()
+	s.Subtract([]flow.DiscardedPacket{{Time: 1.0, Bits: 1e9}, {Time: 7.3, Bits: 1e9}})
+	for k, v := range s.Rate {
+		if v != 4000 {
+			t.Fatalf("bin %d changed by past-the-end discard: %g", k, v)
+		}
+	}
+
+	// Over-subtraction clamps at zero instead of going negative (the
+	// measured rate is a volume; a negative rate would poison the variance).
+	s = mk()
+	s.Subtract([]flow.DiscardedPacket{{Time: 0.3, Bits: 1001}})
+	if s.Rate[1] != 0 {
+		t.Fatalf("bin 1 should clamp at 0, got %g", s.Rate[1])
+	}
+	if s.Rate[0] != 4000 || s.Rate[2] != 4000 {
+		t.Fatal("clamp leaked into neighbouring bins")
+	}
+}
+
+func TestBinStreamMatchesBin(t *testing.T) {
+	recs := []trace.Record{rec(0.1, 1000), rec(0.35, 500), rec(0.9, 700)}
+	want, err := Bin(recs, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := func(yield func(trace.Record) bool) {
+		for _, r := range recs {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+	got, err := BinStream(seq, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rate) != len(want.Rate) {
+		t.Fatalf("bin counts differ: %d vs %d", len(got.Rate), len(want.Rate))
+	}
+	for k := range want.Rate {
+		if got.Rate[k] != want.Rate[k] {
+			t.Fatalf("bin %d: %g vs %g", k, got.Rate[k], want.Rate[k])
+		}
+	}
+	if _, err := BinStream(seq, 0, 0.2); err == nil {
+		t.Fatal("invalid duration should be rejected")
+	}
+}
+
 func TestDownsample(t *testing.T) {
 	s := Series{Delta: 0.2, Rate: []float64{1, 3, 5, 7, 9, 11, 13}}
 	d, err := s.Downsample(2)

@@ -3,12 +3,50 @@
 # ns/op, B/op and allocs/op per benchmark, seeding the perf trajectory
 # (compare successive BENCH_*.json to see the suite speed over PRs).
 #
-# Usage: scripts/bench.sh [output.json] [benchtime]
+# Usage:
+#   scripts/bench.sh [output.json] [benchtime]
+#   scripts/bench.sh --compare OLD.json NEW.json [threshold_pct]
+#
+# --compare diffs two snapshots benchmark by benchmark and exits non-zero
+# when any shared benchmark's ns/op regressed by more than threshold_pct
+# (default 15) — the CI trend check over the committed BENCH_*.json history.
 set -eu
+
+# extract_ns prints "name ns_per_op" per line from a bench.sh JSON snapshot
+# (one benchmark object per line, as emitted below).
+extract_ns() {
+    sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+if [ "${1:-}" = "--compare" ]; then
+    old="${2:?usage: bench.sh --compare OLD.json NEW.json [threshold_pct]}"
+    new="${3:?usage: bench.sh --compare OLD.json NEW.json [threshold_pct]}"
+    threshold="${4:-15}"
+    { extract_ns "$old" | sed 's/^/old /'; extract_ns "$new" | sed 's/^/new /'; } | awk -v threshold="$threshold" -v old="$old" -v new="$new" '
+    $1 == "old" { was[$2] = $3 }
+    $1 == "new" { now[$2] = $3; order[n++] = $2 }
+    END {
+        printf "bench trend: %s -> %s (threshold +%g%% ns/op)\n", old, new, threshold
+        bad = 0; shared = 0
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            if (!(name in was)) { printf "  new       %-46s %12.0f ns/op\n", name, now[name]; continue }
+            shared++
+            pct = (now[name] - was[name]) / was[name] * 100
+            flag = "ok"
+            if (pct > threshold) { flag = "REGRESSED"; bad++ }
+            printf "  %-9s %-46s %12.0f -> %12.0f ns/op (%+6.1f%%)\n", flag, name, was[name], now[name], pct
+        }
+        if (shared == 0) { print "  no shared benchmarks to compare" >"/dev/stderr"; exit 2 }
+        if (bad > 0) { printf "%d benchmark(s) regressed beyond +%g%%\n", bad, threshold >"/dev/stderr"; exit 1 }
+        print "no ns/op regression beyond threshold"
+    }'
+    exit $?
+fi
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${2:-3x}"
-pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkIntervalSplitter|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance'
+pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkLongTraceWorkers|BenchmarkIntervalSplitter|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance'
 
 cd "$(dirname "$0")/.."
 
