@@ -270,6 +270,90 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
 }
 
+// BenchmarkTraceGenerationSharded scales the two-phase generator's synthesis
+// pool on the component generation benchmark (the determinism tests
+// guarantee the packet stream is bit-identical at every count, so this
+// isolates pure scheduling cost/speedup). genworkers=1 is the serial
+// event-heap generator. Single-core containers record the sharding overhead
+// instead of a speedup; see README for the recorded numbers.
+func BenchmarkTraceGenerationSharded(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("genworkers=%d", workers), func(b *testing.B) {
+			var pkts int64
+			for i := 0; i < b.N; i++ {
+				n := int64(0)
+				sum, err := trace.StreamParallel(benchTraceConfig(), workers, func(trace.Record) error {
+					n++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != sum.Packets {
+					b.Fatalf("streamed %d packets, summary says %d", n, sum.Packets)
+				}
+				pkts += sum.Packets
+			}
+			b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+		})
+	}
+}
+
+// BenchmarkWindowReplayDeepOffset measures replaying a 5 s window near the
+// end of a 300 s trace: the prefix variant regenerates everything up to the
+// window (O(prefix)), the checkpointed variant jumps to the nearest
+// checkpoint and fast-forwards only the overlapping flows (O(window +
+// active flows)). The checkpoint index build is a one-off per trace and is
+// measured separately.
+func BenchmarkWindowReplayDeepOffset(b *testing.B) {
+	cfg := benchTraceConfig()
+	cfg.Duration = 300
+	lo, hi := cfg.Duration-10, cfg.Duration-5
+	drain := func(b *testing.B, w trace.Window) {
+		n := 0
+		for range w.Records() {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("window empty")
+		}
+	}
+	b.Run("prefix", func(b *testing.B) {
+		w, err := trace.NewWindow(cfg, lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			drain(b, w)
+		}
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		ck, err := trace.NewCheckpoints(cfg, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := ck.Window(lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drain(b, w)
+		}
+	})
+	b.Run("index-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.NewCheckpoints(cfg, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkFlowMeasurement(b *testing.B) {
 	recs, _, err := trace.GenerateAll(benchTraceConfig())
 	if err != nil {

@@ -33,6 +33,7 @@ func main() {
 		predSec = flag.Float64("predsec", 1800, "prediction trace length for table2/fig14")
 		seed    = flag.Int64("seed", 0, "suite seed offset")
 		workers = flag.Int("workers", 0, "interval measurement workers, shared across traces (0 = GOMAXPROCS); output is identical at any count")
+		genWork = flag.Int("genworkers", 1, "packet-synthesis workers per trace producer (<= 1 = serial generator); output is identical at any count")
 		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
 	)
 	flag.Parse()
@@ -59,9 +60,10 @@ func main() {
 			MaxIntervals:     *maxIvl,
 			Seed:             *seed,
 		},
-		Delta:   *delta,
-		Workers: *workers,
-		Quiet:   *quiet,
+		Delta:      *delta,
+		Workers:    *workers,
+		GenWorkers: *genWork,
+		Quiet:      *quiet,
 	})
 	if err != nil {
 		fatal(err)

@@ -30,6 +30,7 @@ func main() {
 		maxIvl   = flag.Int("maxivl", 2, "suite mode: intervals to generate")
 		seed     = flag.Int64("seed", 1, "random seed")
 		warmup   = flag.Float64("warmup", 60, "stationarity warm-up in seconds")
+		genWork  = flag.Int("genworkers", 1, "packet-synthesis workers (<= 1 = serial generator); output is identical at any count")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -72,7 +73,7 @@ func main() {
 		cfg.Warmup = *warmup
 	}
 
-	recs, sum, err := trace.GenerateAll(cfg)
+	recs, sum, err := trace.GenerateAllParallel(cfg, *genWork)
 	if err != nil {
 		fatal(err)
 	}

@@ -213,6 +213,16 @@ func (m *Model) LST(theta float64) (float64, error) {
 		return 0, fmt.Errorf("core: LST needs a non-empty flow population")
 	}
 	var sum float64
+	// Integer-b power shots reduce the inner integral to an incomplete
+	// gamma in closed form — one special-function evaluation per flow
+	// instead of 128 quadrature points (the same treatment that removed
+	// the quadrature from AveragedVariance). Other shots keep Simpson.
+	if ps, ok := m.Shot.(PowerShot); ok && ps.closedFormB() {
+		for _, f := range m.Flows {
+			sum += ps.lstIntegral(f.S, f.D, theta)
+		}
+		return math.Exp(-m.Lambda * sum / float64(len(m.Flows))), nil
+	}
 	for _, f := range m.Flows {
 		s, d := f.S, f.D
 		g := func(u float64) float64 {

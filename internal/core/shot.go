@@ -218,6 +218,29 @@ func (p PowerShot) avgVarCrossInt(s, d, delta float64) float64 {
 	return a * a * total
 }
 
+// lstIntegral returns ∫₀^D (1 - e^{-θ·x(t)}) dt — the per-flow LST
+// integrand of Theorem 1 — in closed form for integer-b power shots.
+// Substituting u = θ·a·t^b reduces the integral to
+//
+//	(1/b)·(θa)^{-1/b} · ∫₀^{θaD^b} u^{1/b-1}(1 - e^{-u}) du,
+//
+// the incomplete-gamma-family integral gammaLower1mExp evaluates; b = 0 is
+// the elementary constant-rate case via expm1 (exact even when θS/D
+// underflows the e^{-y} ≈ 1 regime). Callers must hold closedFormB's ok.
+func (p PowerShot) lstIntegral(s, d, theta float64) float64 {
+	if d <= 0 || s <= 0 || theta <= 0 {
+		return 0
+	}
+	b := int(p.B)
+	if b == 0 {
+		return d * -math.Expm1(-theta*s/d)
+	}
+	a := s * (p.B + 1) / powi(d, b+1)
+	x := theta * a * powi(d, b)
+	inv := 1 / p.B
+	return inv * math.Pow(theta*a, -inv) * gammaLower1mExp(inv, x)
+}
+
 // closedFormB reports whether the shot exponent is a small non-negative
 // integer for which avgVarCrossInt's expansion is well-conditioned: the
 // alternating binomial sum loses precision as b grows (catastrophic

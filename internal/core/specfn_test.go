@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gammaP must reproduce the classic identities: P(1, x) = 1 - e^{-x},
+// P(1/2, x) = erf(√x), monotonicity in x, and the limits at 0 and ∞.
+func TestGammaPIdentities(t *testing.T) {
+	for _, x := range []float64{1e-6, 0.1, 0.5, 1, 2, 5, 20, 100} {
+		if got, want := gammaP(1, x), 1-math.Exp(-x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1, %g) = %v, want %v", x, got, want)
+		}
+		if got, want := gammaP(0.5, x), math.Erf(math.Sqrt(x)); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1/2, %g) = %v, want %v", x, got, want)
+		}
+	}
+	if gammaP(0.3, 0) != 0 {
+		t.Fatal("P(a, 0) must be 0")
+	}
+	if got := gammaP(0.3, 1e4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(a, huge) = %v, want 1", got)
+	}
+	prev := -1.0
+	for x := 0.01; x < 30; x *= 1.7 {
+		v := gammaP(0.25, x)
+		if v <= prev {
+			t.Fatalf("P(0.25, ·) not increasing at x=%g: %v <= %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+// gammaLower1mExp must match direct quadrature of u^{a-1}(1-e^{-u}) across
+// the series/continued-fraction crossover, and follow the ~x^{a+1}/(a+1)
+// small-x asymptote instead of cancelling to noise.
+func TestGammaLower1mExp(t *testing.T) {
+	for _, a := range []float64{0.1, 0.25, 0.5, 1, 1.0 / 3.0} {
+		for _, x := range []float64{0.01, 0.5, 0.999, 1.0, 1.001, 3, 10, 50} {
+			// Quadrature reference under u = v^{1/a}: the u^{a-1} endpoint
+			// singularity (a < 1) becomes a smooth integrand Simpson nails.
+			want := simpson(func(v float64) float64 {
+				return -math.Expm1(-math.Pow(v, 1/a))
+			}, 0, math.Pow(x, a), 20000) / a
+			got := gammaLower1mExp(a, x)
+			if math.Abs(got-want) > 1e-6*math.Abs(want)+1e-12 {
+				t.Fatalf("G(%g, %g) = %v, quadrature %v", a, x, got, want)
+			}
+		}
+		// Small-x asymptote: G ≈ x^{a+1}/(a+1).
+		x := 1e-8
+		want := math.Pow(x, a+1) / (a + 1)
+		if got := gammaLower1mExp(a, x); math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("G(%g, %g) = %v, asymptote %v", a, x, got, want)
+		}
+	}
+}
+
+// The closed-form LST must agree with the generic quadrature path across
+// the paper's shot exponents, flow mixes and θ scales — including θ so
+// small the integrand is linear and θ large enough to saturate it.
+func TestLSTClosedFormMatchesQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	flows := make([]FlowSample, 60)
+	for i := range flows {
+		flows[i] = FlowSample{S: 1e4 + rng.Float64()*1e7, D: 0.05 + rng.Float64()*20}
+	}
+	for _, b := range []float64{0, 1, 2, 3, 7} {
+		m, err := NewModel(120, PowerShot{B: b}, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := m.Mean()
+		for _, theta := range []float64{1e-12, 1 / (10 * mu), 1 / mu, 10 / mu} {
+			got, err := m.LST(theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The quadrature reference, computed inline exactly as the
+			// generic fallback does (the fallback itself now only runs for
+			// non-power shots).
+			var sum float64
+			for _, f := range m.Flows {
+				s, d := f.S, f.D
+				sum += simpson(func(u float64) float64 {
+					return 1 - math.Exp(-theta*m.Shot.Rate(s, d, u))
+				}, 0, d, 2048)
+			}
+			want := math.Exp(-m.Lambda * sum / float64(len(m.Flows)))
+			if math.Abs(got-want) > 1e-6*want {
+				t.Fatalf("b=%g θ=%g: closed form %v, quadrature %v", b, theta, got, want)
+			}
+			if got < 0 || got > 1 {
+				t.Fatalf("b=%g θ=%g: LST %v outside [0, 1]", b, theta, got)
+			}
+		}
+	}
+}
+
+// LST sanity at the boundaries the closed form must respect: LST(0) = 1,
+// decreasing in θ, and matching exp(-λE[D_eff]) saturation for huge θ.
+func TestLSTClosedFormShape(t *testing.T) {
+	flows := []FlowSample{{S: 1e6, D: 2}, {S: 4e6, D: 5}}
+	m, err := NewModel(50, Triangular, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, err := m.LST(0)
+	if err != nil || v0 != 1 {
+		t.Fatalf("LST(0) = %v, %v; want exactly 1", v0, err)
+	}
+	prev := 1.0
+	for theta := 1e-9; theta < 1e-2; theta *= 10 {
+		v, err := m.LST(theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Fatalf("LST not decreasing at θ=%g: %v >= %v", theta, v, prev)
+		}
+		prev = v
+	}
+	// θ → ∞: every active flow contributes its whole duration, so the LST
+	// floors at exp(-λ·E[D]) (the probability no flow is active).
+	want := math.Exp(-m.Lambda * (2 + 5) / 2)
+	huge, err := m.LST(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(huge-want) > 1e-3*want {
+		t.Fatalf("LST(∞) → %v, want exp(-λE[D]) = %v", huge, want)
+	}
+}
+
+// Cumulant's closed form (IntegralXK) must match quadrature of x(t)^k — the
+// companion check that the whole integer-b family, not just the LST, stays
+// on the closed-form path without drifting from the integral truth.
+func TestCumulantClosedFormMatchesQuadrature(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	flows := make([]FlowSample, 40)
+	for i := range flows {
+		flows[i] = FlowSample{S: 1e4 + rng.Float64()*1e6, D: 0.1 + rng.Float64()*10}
+	}
+	for _, b := range []float64{0, 1, 2, 4} {
+		m, err := NewModel(80, PowerShot{B: b}, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 4; k++ {
+			got, err := m.Cumulant(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, f := range m.Flows {
+				s, d := f.S, f.D
+				sum += simpson(func(u float64) float64 {
+					return math.Pow(m.Shot.Rate(s, d, u), float64(k))
+				}, 0, d, 4096)
+			}
+			want := m.Lambda * sum / float64(len(m.Flows))
+			if math.Abs(got-want) > 1e-5*math.Abs(want) {
+				t.Fatalf("b=%g k=%d: closed form %v, quadrature %v", b, k, got, want)
+			}
+		}
+	}
+}

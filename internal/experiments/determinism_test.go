@@ -13,6 +13,11 @@ import (
 func renderSuiteOpts(t *testing.T, o Options, workers int) string {
 	t.Helper()
 	o.Workers = workers
+	return renderSuite(t, o)
+}
+
+func renderSuite(t *testing.T, o Options) string {
+	t.Helper()
 	r, err := NewRunner(o)
 	if err != nil {
 		t.Fatal(err)
@@ -76,5 +81,35 @@ func TestSuiteOutputDeterministicIntraTrace(t *testing.T) {
 		if got := renderSuiteOpts(t, longOpts(), workers); got != sequential {
 			t.Fatalf("output with %d workers differs from sequential run", workers)
 		}
+	}
+}
+
+// Sharded generation is the third axis of the scheduler: the synthesis pool
+// feeds each trace's interval partitioner a bit-identical stream, so suite
+// output must not depend on the generation worker count — alone or combined
+// with measurement workers.
+func TestSuiteOutputDeterministicAcrossGenWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	serial := renderSuiteOpts(t, tinyOptions(), 1)
+	if len(serial) == 0 {
+		t.Fatal("serial run produced no output")
+	}
+	for _, genWorkers := range []int{2, 4, 16} {
+		o := tinyOptions()
+		o.Workers = 1
+		o.GenWorkers = genWorkers
+		if got := renderSuite(t, o); got != serial {
+			t.Fatalf("output with %d generation workers differs from the serial generator's", genWorkers)
+		}
+	}
+	// Both pools at once: measurement scheduling and generation sharding
+	// compose without perturbing the science.
+	o := tinyOptions()
+	o.Workers = 4
+	o.GenWorkers = 4
+	if got := renderSuite(t, o); got != serial {
+		t.Fatal("output with workers=4 × genworkers=4 differs from the serial run")
 	}
 }

@@ -38,6 +38,16 @@ type Options struct {
 	// reassembled in (trace, definition, interval) order, so output is
 	// identical at any worker count. 0 means GOMAXPROCS; 1 is sequential.
 	Workers int
+	// GenWorkers sizes each trace producer's packet-synthesis pool
+	// (trace.StreamParallel): phase 1 of the generator stays a cheap serial
+	// RNG pass, while packet synthesis shards across GenWorkers timeline
+	// segments feeding the interval partitioner in order — so with
+	// measurement already parallel, the remaining serial critical path of a
+	// long trace parallelises too. The packet stream is bit-identical at
+	// any count, so output never depends on it. <= 1 means the serial
+	// generator; each producer spawns its own pool, so total generation
+	// goroutines scale with producers × GenWorkers.
+	GenWorkers int
 	// Quiet suppresses per-point output, keeping only summaries (used by
 	// benchmarks).
 	Quiet bool
@@ -329,10 +339,6 @@ func (r *Runner) measureSuite() error {
 // than the buffer.
 func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- intervalTask, inflight chan struct{}, aborted *atomic.Bool) (trace.Summary, error) {
 	cfg := suiteConfig(spec)
-	g, err := trace.NewGenerator(cfg)
-	if err != nil {
-		return trace.Summary{}, err
-	}
 	part, err := flow.NewIntervalPartitioner(spec.IntervalSec, cfg.Duration, intervalStreamBuffer,
 		func(is *flow.IntervalStream) error {
 			// Bail out between intervals once the pass is doomed, instead
@@ -347,16 +353,18 @@ func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- interva
 	if err != nil {
 		return trace.Summary{}, err
 	}
-	for rec := range g.Records() {
-		if err := part.Add(rec); err != nil {
-			part.Abort()
-			return g.Stats(), err
-		}
+	// The generation workers synthesise timeline shards concurrently and
+	// feed the partitioner one merged, time-ordered, bit-identical stream —
+	// the partitioner cannot tell it apart from the serial generator's.
+	sum, err := trace.StreamParallel(cfg, r.opts.GenWorkers, part.Add)
+	if err != nil {
+		part.Abort()
+		return sum, err
 	}
 	if err := part.Close(); err != nil {
-		return g.Stats(), err
+		return sum, err
 	}
-	return g.Stats(), nil
+	return sum, nil
 }
 
 // measureInterval is the scheduler's second level: it owns one interval

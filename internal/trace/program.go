@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/netpkt"
+)
+
+// This file is phase 1 of the two-phase generator: a cheap, serial, RNG-only
+// pass over the session/arrival process that emits compact flow programs.
+// All of the generator's randomness lives in the per-flow draws — packet
+// emission inside a flow is fully deterministic given its program (the
+// power-shot pacing x(t) = a·t^b fixes every packet time in closed form) —
+// so everything downstream of this pass (the serial event-heap generator,
+// the sharded synthesiser, checkpointed window replay) is RNG-free and can
+// be reordered, sharded or replayed freely without touching the random
+// stream.
+
+// FlowProgram is the complete deterministic description of one flow: the
+// handful of per-flow draws phase 1 makes, from which every packet time and
+// size follows in closed form. Times are on the generator clock (0 = start
+// of warm-up; packets are emitted at clock minus Warmup).
+type FlowProgram struct {
+	// Index is the 1-based admission index of the flow (the generator's flow
+	// id); it is the deterministic tie-breaker for packets of different
+	// flows that land on exactly equal times.
+	Index uint32
+	// Start is the flow arrival time T on the generator clock.
+	Start float64
+	// Duration is the flow duration D in seconds.
+	Duration float64
+	// SizeB is the flow size S in bytes.
+	SizeB int
+	// InvBp1 is 1/(b+1) for the flow's shot exponent b.
+	InvBp1 float64
+	// PktBytes is the wire MTU the flow is chopped into.
+	PktBytes int
+	// Hdr is the constant per-flow header (TotalLen is set per packet).
+	Hdr netpkt.Header
+}
+
+// End returns Start + Duration, an upper bound on the flow's packet times
+// (the last packet begins strictly before it).
+func (p FlowProgram) End() float64 { return p.Start + p.Duration }
+
+// NumPackets returns the number of packets the flow is chopped into.
+func (p FlowProgram) NumPackets() int {
+	return (p.SizeB + p.PktBytes - 1) / p.PktBytes
+}
+
+// PacketSize returns the wire size in bytes of packet k (0-based): full MTU
+// except for a final partial packet.
+func (p FlowProgram) PacketSize(k int) int {
+	if remaining := p.SizeB - k*p.PktBytes; remaining < p.PktBytes {
+		return remaining
+	}
+	return p.PktBytes
+}
+
+// PacketTime returns the emission time of packet k (0-based) on the
+// generator clock: the shot has transmitted fraction (t/D)^(b+1) of S by
+// offset t, so the byte position k·PktBytes is reached at
+// D·(c/S)^(1/(b+1)). The arithmetic matches the event-heap generator
+// operation for operation, so both produce bit-identical float64 times.
+func (p FlowProgram) PacketTime(k int) float64 {
+	frac := float64(k*p.PktBytes) / float64(p.SizeB)
+	return p.Start + p.Duration*math.Pow(frac, p.InvBp1)
+}
+
+// FirstPacketNotBefore returns the smallest packet index k with
+// PacketTime(k) >= t (NumPackets when every packet precedes t). The power
+// shot inverts in closed form, so the answer costs O(1): the inverse gives a
+// candidate within a float rounding of the truth and the exact PacketTime
+// comparison nudges it onto the boundary. This is what lets a timeline shard
+// or a checkpointed window jump straight to its first packet instead of
+// replaying the flow's prefix.
+func (p FlowProgram) FirstPacketNotBefore(t float64) int {
+	n := p.NumPackets()
+	if t <= p.Start {
+		return 0
+	}
+	if t >= p.End() {
+		return n
+	}
+	// Invert the pacing: offset >= t-Start ⇔ k·PktBytes/SizeB >= ((t-Start)/D)^(b+1).
+	frac := math.Pow((t-p.Start)/p.Duration, 1/p.InvBp1)
+	k := int(frac * float64(p.SizeB) / float64(p.PktBytes))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	// The round trip through Pow can be off by an ulp either way; settle with
+	// the authoritative forward formula.
+	for k > 0 && p.PacketTime(k-1) >= t {
+		k--
+	}
+	for k < n && p.PacketTime(k) < t {
+		k++
+	}
+	return k
+}
+
+// maxSessionFlows caps the geometric draw of flows per session. The cap is
+// astronomically beyond any realistic draw (mean 8 reaches it with
+// probability (7/8)^65536), so it only matters as a guard against a
+// pathological FlowsPerSession sending the draw loop spinning.
+const maxSessionFlows = 1 << 16
+
+// geometric draws a geometric count with the given mean (support 1, 2, ...,
+// capped at maxSessionFlows).
+func geometric(mean float64, rng *rand.Rand) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for n < maxSessionFlows && rng.Float64() > p {
+		n++
+	}
+	return n
+}
+
+// dstPorts is the destination-port mix flows cycle through. A package-level
+// array keeps newProgram from allocating the slice literal once per flow.
+var dstPorts = [...]uint16{80, 443, 25, 53, 8080}
+
+// programSource is the phase-1 state: the session arrival process plus the
+// per-flow draws, consumed strictly in admission order. Both the serial
+// generator and the sharded synthesiser sit on top of it, so their random
+// streams are identical by construction.
+type programSource struct {
+	cfg      Config // defaulted
+	rng      *rand.Rand
+	arrivals *dist.PoissonProcess
+	nextArr  float64
+	flowID   uint32
+	flows    int64 // flows starting inside the measured window
+	onePkt   int64 // ... of which single-packet (discarded by the pipeline)
+}
+
+// newProgramSource builds the phase-1 pass over an already-defaulted config.
+func newProgramSource(c Config) (*programSource, error) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	// Sessions arrive at Lambda/FlowsPerSession so the expected flow
+	// arrival rate stays Lambda.
+	arr, err := dist.NewPoissonProcess(c.Lambda/c.FlowsPerSession, rng)
+	if err != nil {
+		return nil, err
+	}
+	s := &programSource{cfg: c, rng: rng, arrivals: arr}
+	s.nextArr = s.arrivals.Next()
+	return s, nil
+}
+
+// peekArrival returns the next session's arrival time without consuming it.
+func (s *programSource) peekArrival() float64 { return s.nextArr }
+
+// newProgram draws a fresh flow to the given destination prefix, starting at
+// time t, and accounts it in the phase-1 summary counters.
+func (s *programSource) newProgram(t float64, prefix uint32) FlowProgram {
+	c := &s.cfg
+	sizeB := int(math.Ceil(c.SizeBytes.Sample(s.rng)))
+	if sizeB < 40 {
+		sizeB = 40
+	}
+	rate := c.RateBps.Sample(s.rng)
+	d := float64(sizeB) * 8 / rate
+	if d < c.MinDuration {
+		d = c.MinDuration
+	}
+	b := c.ShotB.Sample(s.rng)
+	if b < 0 {
+		b = 0
+	}
+	s.flowID++
+	id := s.flowID
+	proto := netpkt.ProtoTCP
+	if s.rng.Float64() < c.UDPFraction {
+		proto = netpkt.ProtoUDP
+	}
+	// Destination: 172.16.0.0/12-style space carved into /24s; host byte
+	// from the flow id so flows to the same prefix still differ. The host
+	// byte is parenthesised: `|` and `+` share precedence in Go, so without
+	// it the +1 would bind to the whole word (id%253+1 stays in [1, 253], so
+	// the addition can never carry into the prefix bits).
+	dst := netpkt.AddrFromUint32(0xAC10_0000 | prefix<<8 | (id%253 + 1))
+	// Source: 10.0.0.0/8 space from the flow id.
+	src := netpkt.AddrFromUint32(0x0A00_0000 | (id*2654435761)>>8)
+	hdr := netpkt.Header{
+		SrcIP:    src,
+		DstIP:    dst,
+		Protocol: proto,
+		SrcPort:  uint16(1024 + id%60000),
+		DstPort:  dstPorts[id%uint32(len(dstPorts))],
+		TTL:      64,
+	}
+	p := FlowProgram{
+		Index:    id,
+		Start:    t,
+		Duration: d,
+		SizeB:    sizeB,
+		InvBp1:   1 / (b + 1),
+		PktBytes: c.PktBytes,
+		Hdr:      hdr,
+	}
+	if t >= c.Warmup {
+		s.flows++
+		if p.SizeB <= p.PktBytes {
+			s.onePkt++
+		}
+	}
+	return p
+}
+
+// nextSession admits the next session, invoking emit once per member flow
+// program in draw order (member flows starting at or past the horizon are
+// cut, exactly like the capture stopping). It returns false — consuming no
+// draws — once the arrival process has passed the horizon.
+func (s *programSource) nextSession(horizon float64, emit func(FlowProgram)) bool {
+	if s.nextArr >= horizon {
+		return false
+	}
+	t := s.nextArr
+	c := &s.cfg
+	var prefix uint32
+	if s.rng.Float64() < c.PopularFraction {
+		prefix = uint32(s.rng.Intn(c.PopularPrefixes))
+	} else {
+		prefix = uint32(c.PopularPrefixes + s.rng.Intn(c.Prefixes-c.PopularPrefixes))
+	}
+	n := geometric(c.FlowsPerSession, s.rng)
+	start := t
+	for i := 0; i < n; i++ {
+		if i > 0 && c.SessionFlowGapSec > 0 {
+			start += s.rng.ExpFloat64() * c.SessionFlowGapSec
+		}
+		if start >= horizon {
+			break
+		}
+		emit(s.newProgram(start, prefix))
+	}
+	s.nextArr = s.arrivals.Next()
+	return true
+}
+
+// run drains the arrival process to the horizon, emitting every flow program
+// in admission order — the whole phase-1 pass in one call.
+func (s *programSource) run(horizon float64, emit func(FlowProgram)) {
+	for s.nextSession(horizon, emit) {
+	}
+}
+
+// collectPrograms runs the whole phase-1 pass over an already-defaulted
+// config, returning every flow program in admission order plus the consumed
+// source (for its summary counters).
+func collectPrograms(c Config) ([]FlowProgram, *programSource, error) {
+	src, err := newProgramSource(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	progs := make([]FlowProgram, 0, capacityEstimate(c.Duration*c.Lambda))
+	src.run(c.Warmup+c.Duration, func(p FlowProgram) {
+		progs = append(progs, p)
+	})
+	return progs, src, nil
+}
+
+// Programs runs the phase-1 pass over cfg's full horizon and returns every
+// flow program in admission order, plus a summary whose flow-level fields
+// (Flows, OnePktFlows, FlowRate, Duration) are final. Packet-level fields
+// are zero: packets exist only once a synthesis phase runs the programs.
+func Programs(cfg Config) ([]FlowProgram, Summary, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	progs, src, err := collectPrograms(c)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	sum := Summary{Flows: src.flows, OnePktFlows: src.onePkt, Duration: c.Duration}
+	if c.Duration > 0 {
+		sum.FlowRate = float64(sum.Flows) / c.Duration
+	}
+	return progs, sum, nil
+}
+
+// maxCapacityEstimate bounds how much any pre-sizing heuristic is allowed to
+// reserve up front (~4M entries); beyond it, append's amortised growth is
+// cheaper than the risk of a huge or overflowed allocation.
+const maxCapacityEstimate = 1 << 22
+
+// capacityEstimate clamps a float element-count estimate into [0,
+// maxCapacityEstimate], guarding the int conversion against overflow on
+// huge Duration·Lambda products (and against NaN, which fails every
+// comparison and falls through to 0).
+func capacityEstimate(est float64) int {
+	if est > maxCapacityEstimate {
+		return maxCapacityEstimate
+	}
+	if est > 0 {
+		return int(est)
+	}
+	return 0
+}

@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netpkt"
+)
+
+// This file is the sharded phase 2: RNG-free packet synthesis from flow
+// programs. The trace timeline is cut into segments; a serial dispatcher
+// runs the phase-1 program pass, routing each program to every segment its
+// flow overlaps, and seals a segment — handing it to a worker pool — once
+// the arrival clock proves no later program can reach it. Workers replay a
+// per-segment event heap (jumping each flow straight to its first in-segment
+// packet in O(1) via the shot inverse), and a merger forwards the segments'
+// bounded batch streams in timeline order. Packets of different flows are
+// ordered by (time, flow admission index), which matches the serial
+// generator's emission order, so the merged stream is bit-identical to
+// Stream's at any worker count.
+
+// synthBatch is how many records travel per channel operation between a
+// segment worker and the merger (same amortisation reasoning as the
+// measurement pipeline's stream batches).
+const synthBatch = 512
+
+// synthSegmentBatches bounds each in-flight segment's buffered batches, so a
+// fast worker back-pressures on the merger instead of materialising its
+// segment.
+const synthSegmentBatches = 8
+
+// minSegmentSec keeps segments from becoming so short that per-segment
+// setup (program routing, heap rebuild) dominates the packet work.
+const minSegmentSec = 1.0
+
+// programPlayer is the shared RNG-free event loop of phase 2: segment
+// workers and checkpointed window replay both drive it. It fast-forwards
+// each flow to its first packet at or after lo (the closed-form shot
+// inverse) and orders packets on the event heap with cross-flow ties broken
+// by the admission index — reproducing the serial generator's emission
+// order. Flows can be admitted eagerly up front (segments: their program
+// list is O(span overlap) anyway, and skipping the start sort keeps the
+// per-segment setup below the packet work) or handed over as a
+// start-sorted progs list the player admits lazily, each flow only once
+// the clock reaches its start — which keeps heap memory O(concurrently
+// active flows) when a checkpointed window spans a huge slice of trace,
+// using the sort order its index maintains anyway.
+type programPlayer struct {
+	lo, hi float64 // fast-forward target and event ceiling (generator clock)
+	progs  []FlowProgram
+	next   int
+	events eventHeap
+}
+
+// admit fast-forwards one program into the heap (used directly for
+// checkpoint carry-over flows, whose starts predate lo anyway).
+func (pl *programPlayer) admit(p FlowProgram) {
+	k := p.FirstPacketNotBefore(pl.lo)
+	if k >= p.NumPackets() {
+		return
+	}
+	f := &flowState{prog: p, sentB: k * p.PktBytes}
+	if t := p.Start + f.nextOffset(); t < pl.hi {
+		pl.events.pushEvent(event{time: t, seq: uint64(p.Index), flow: f})
+	}
+}
+
+// play emits every packet with time in [lo-ish, hi) in order; emit
+// returning false stops early. The emission step itself (takePacket,
+// conditional re-push) is the same flowState stepping the serial generator
+// runs, so the packet sequence is bit-identical to its.
+func (pl *programPlayer) play(emit func(t float64, pkt int, hdr netpkt.Header) bool) {
+	for {
+		// Admit start-sorted programs whose start the clock has reached:
+		// any event emitted before this point precedes their earliest
+		// packet, and at equal times admission-then-pop lets the heap's
+		// index tie-break order them exactly as the serial generator does.
+		for pl.next < len(pl.progs) &&
+			(pl.events.Len() == 0 || pl.progs[pl.next].Start <= pl.events.peekTime()) {
+			pl.admit(pl.progs[pl.next])
+			pl.next++
+		}
+		if pl.events.Len() == 0 {
+			return
+		}
+		ev := pl.events.popEvent()
+		// The heap min is past the span, so every pending event is too:
+		// later packets belong to the next shard (which re-derives them
+		// from the programs) or to nobody (horizon truncation). Programs
+		// not yet admitted start even later.
+		if ev.time >= pl.hi {
+			return
+		}
+		f := ev.flow
+		pkt := f.takePacket()
+		if !f.done() {
+			if t := f.prog.Start + f.nextOffset(); t < pl.hi {
+				pl.events.pushEvent(event{time: t, seq: ev.seq, flow: f})
+			}
+		}
+		if !emit(ev.time, pkt, f.prog.Hdr) {
+			return
+		}
+	}
+}
+
+// segment is one timeline shard of a synthesis pass. Bounds are on the
+// generator clock and cover [loAbs, hiAbs) of emitted time.
+type segment struct {
+	loAbs, hiAbs float64
+	progs        []FlowProgram
+	batches      chan []Record
+	dispatched   bool // sent to the worker pool (vs closed unsynthesised on abort)
+}
+
+// synthesize replays the segment's overlapping flow programs through the
+// program player and sends the packets with emission time in [loAbs, hiAbs)
+// to the segment's batch channel, which it closes when done. The skip flag
+// short-circuits the work (the channel is still closed) once an abort means
+// nobody will read the records.
+func (sg *segment) synthesize(warmup float64, skip *atomic.Bool) {
+	defer close(sg.batches)
+	if skip.Load() {
+		return
+	}
+	// Eager admission: the heap's (time, index) ordering does not depend on
+	// admission order, and the flow states it holds are of the same order
+	// as the segment's program list itself.
+	pl := &programPlayer{lo: sg.loAbs, hi: sg.hiAbs}
+	for i := range sg.progs {
+		pl.admit(sg.progs[i])
+	}
+	batch := make([]Record, 0, synthBatch)
+	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
+		hdr.TotalLen = uint16(pkt)
+		batch = append(batch, Record{Time: t - warmup, Hdr: hdr})
+		if len(batch) == synthBatch {
+			sg.batches <- batch
+			batch = make([]Record, 0, synthBatch)
+			return !skip.Load()
+		}
+		return true
+	})
+	if len(batch) > 0 {
+		sg.batches <- batch
+	}
+}
+
+// StreamParallel generates cfg's trace like Stream — fn sees every packet in
+// time order, from one goroutine, and the result is bit-identical to
+// Stream's — but synthesises the packets with a pool of workers over
+// timeline shards. Phase 1 (the serial RNG pass over the arrival process)
+// runs concurrently with synthesis and costs a few draws per flow, so the
+// speedup approaches the worker count on generation-bound traces. workers <=
+// 1 falls back to the serial generator. Memory stays bounded: segments hand
+// off through an in-flight cap and per-segment bounded buffers, so a slow fn
+// back-pressures generation just like the serial path.
+//
+// On fn error the stream aborts and returns the error with a running summary
+// snapshot, like Stream; generation already in flight is drained, not
+// delivered.
+func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, error) {
+	if workers <= 1 {
+		return Stream(cfg, fn)
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Summary{}, err
+	}
+	src, err := newProgramSource(c)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	// Shard the emitted timeline [Warmup, Warmup+Duration). A handful of
+	// segments per worker keeps the pool balanced without shrinking segments
+	// into per-segment overhead; the segmentation never changes the output,
+	// only the schedule.
+	segSec := c.Duration / float64(workers*4)
+	if segSec < minSegmentSec {
+		segSec = minSegmentSec
+	}
+	nSegs := int(c.Duration / segSec)
+	if nSegs < 1 {
+		nSegs = 1
+	}
+	horizon := c.Warmup + c.Duration
+	segs := make([]*segment, nSegs)
+	for j := range segs {
+		lo := c.Warmup + float64(j)*segSec
+		hi := c.Warmup + float64(j+1)*segSec
+		if j == nSegs-1 {
+			hi = horizon
+		}
+		segs[j] = &segment{loAbs: lo, hiAbs: hi, batches: make(chan []Record, synthSegmentBatches)}
+	}
+	// segIndex places a generator-clock time on the shard grid (clamped:
+	// warm-up flows land in segment 0, which starts synthesis at Warmup).
+	// The division is within an ulp of the truth; callers that care about
+	// exact boundary landings settle them against the segments' own bounds.
+	segIndex := func(t float64) int {
+		j := int((t - c.Warmup) / segSec)
+		if j < 0 {
+			return 0
+		}
+		if j >= nSegs {
+			return nSegs - 1
+		}
+		return j
+	}
+
+	var aborted atomic.Bool
+	// Sized to hold every segment so worker handoff never blocks on the
+	// queue itself — ordering and back-pressure come from inflight and the
+	// per-segment buffers (the PR-2 discipline).
+	tasks := make(chan *segment, nSegs)
+	// inflight caps sealed-but-unmerged segments: the dispatcher acquires
+	// before sealing, the merger releases after draining, so the program
+	// lists and buffers of at most workers+2 segments (plus the tails of
+	// flows spanning ahead) are resident at once.
+	inflight := make(chan struct{}, workers+2)
+
+	go func() { // dispatcher: phase 1 + routing + sealing
+		next := 0 // next segment to seal
+		seal := func(limit int) bool {
+			for next < limit {
+				if aborted.Load() {
+					return false
+				}
+				sg := segs[next]
+				sg.dispatched = true
+				inflight <- struct{}{}
+				tasks <- sg
+				next++
+			}
+			return true
+		}
+		route := func(p FlowProgram) {
+			// A segment can hold packets of p iff loAbs < End and
+			// hiAbs > Start (packet times lie in [Start, End)); the exact
+			// bound comparisons correct the grid division's rounding.
+			jF := segIndex(p.Start)
+			for jF > 0 && segs[jF].loAbs > p.Start {
+				jF--
+			}
+			for jF < nSegs-1 && segs[jF].hiAbs <= p.Start {
+				jF++
+			}
+			jL := segIndex(p.End())
+			for jL < nSegs-1 && segs[jL+1].loAbs < p.End() {
+				jL++
+			}
+			for j := jF; j <= jL; j++ {
+				if j >= next { // sealed segments are already complete
+					segs[j].progs = append(segs[j].progs, p)
+				}
+			}
+		}
+		for src.peekArrival() < horizon {
+			// Every flow of a future session starts at or after the
+			// arrival clock, so segments ending at or before it are
+			// complete and can ship. The exact hiAbs comparison keeps a
+			// rounding overshoot of the grid division from sealing a
+			// segment a flow of this very session could still reach.
+			limit := segIndex(src.peekArrival())
+			for limit > 0 && segs[limit-1].hiAbs > src.peekArrival() {
+				limit--
+			}
+			if !seal(limit) {
+				break
+			}
+			src.nextSession(horizon, route)
+		}
+		seal(nSegs)
+		// On abort, close what was never dispatched so the merger's drain
+		// loop terminates.
+		for ; next < nSegs; next++ {
+			close(segs[next].batches)
+		}
+		close(tasks)
+	}()
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for sg := range tasks {
+				sg.synthesize(c.Warmup, &aborted)
+			}
+		}()
+	}
+
+	// Merge: forward each segment's batches in timeline order. Every
+	// channel is drained even after an error so no worker stays blocked.
+	var sum Summary
+	var firstErr error
+	for _, sg := range segs {
+		for batch := range sg.batches {
+			if firstErr != nil {
+				continue
+			}
+			for _, rec := range batch {
+				sum.Packets++
+				sum.Bytes += int64(rec.Hdr.TotalLen)
+				if err := fn(rec); err != nil {
+					firstErr = err
+					aborted.Store(true)
+					break
+				}
+			}
+		}
+		if sg.dispatched {
+			<-inflight
+		}
+	}
+	workerWG.Wait()
+
+	sum.Flows = src.flows
+	sum.OnePktFlows = src.onePkt
+	if firstErr != nil {
+		return sum, firstErr
+	}
+	sum.Duration = c.Duration
+	if c.Duration > 0 {
+		sum.AvgRateBps = float64(sum.Bytes) * 8 / c.Duration
+		sum.FlowRate = float64(sum.Flows) / c.Duration
+	}
+	return sum, nil
+}

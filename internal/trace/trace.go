@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"iter"
 	"math"
-	"math/rand"
 
 	"repro/internal/dist"
 	"repro/internal/netpkt"
@@ -121,6 +120,11 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.PktBytes < 40 {
 		return out, fmt.Errorf("trace: PktBytes must be >= 40, got %d", out.PktBytes)
 	}
+	if out.PktBytes > 65535 {
+		// The IPv4 TotalLen field is 16-bit; a larger MTU would silently
+		// truncate every emitted header (and the byte accounting with it).
+		return out, fmt.Errorf("trace: PktBytes must be <= 65535, got %d", out.PktBytes)
+	}
 	if out.Prefixes == 0 {
 		out.Prefixes = 65536
 	}
@@ -163,15 +167,11 @@ func (c *Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
-// flowState tracks one in-progress flow inside the generator.
+// flowState tracks one in-progress flow inside a synthesis pass: its
+// immutable phase-1 program plus the emission cursor.
 type flowState struct {
-	start    float64 // arrival time T
-	duration float64 // D
-	sizeB    int     // S in bytes
-	invBp1   float64 // 1/(b+1), cached
-	sentB    int     // bytes emitted so far
-	pktBytes int
-	hdr      netpkt.Header // constant per flow except TotalLen
+	prog  FlowProgram
+	sentB int // bytes emitted so far
 }
 
 // nextOffset returns the emission offset (from the flow start) of the packet
@@ -179,16 +179,33 @@ type flowState struct {
 // transmitted fraction (t/D)^{b+1} of S by time t, so the byte position c is
 // reached at t = D·(c/S)^{1/(b+1)}.
 func (f *flowState) nextOffset() float64 {
-	frac := float64(f.sentB) / float64(f.sizeB)
-	return f.duration * math.Pow(frac, f.invBp1)
+	frac := float64(f.sentB) / float64(f.prog.SizeB)
+	return f.prog.Duration * math.Pow(frac, f.prog.InvBp1)
 }
 
-func (f *flowState) done() bool { return f.sentB >= f.sizeB }
+func (f *flowState) done() bool { return f.sentB >= f.prog.SizeB }
 
-// event is an entry of the generator's time-ordered heap.
+// takePacket returns the wire size of the packet beginning at the cursor
+// (full MTU except a final partial packet) and advances the cursor past it.
+// Every synthesis path — the serial generator, segment workers, checkpoint
+// replay — steps flows through this one method so their packets agree.
+func (f *flowState) takePacket() int {
+	pkt := f.prog.PktBytes
+	if remaining := f.prog.SizeB - f.sentB; remaining < pkt {
+		pkt = remaining
+	}
+	f.sentB += pkt
+	return pkt
+}
+
+// event is an entry of the generator's time-ordered heap. seq is the flow's
+// admission index: packets of different flows landing on exactly equal
+// float64 times order by it, in every synthesis path (serial, sharded,
+// checkpointed) alike — which is what makes their streams identical by
+// construction rather than only almost surely.
 type event struct {
 	time float64
-	seq  uint64 // tie-breaker for deterministic ordering
+	seq  uint64
 	flow *flowState
 }
 
@@ -252,15 +269,19 @@ func (h *eventHeap) popEvent() event {
 // aggregate flow arrival process close to Poisson (the paper's Figures 3-4
 // observation), while the session structure gives the /24-prefix definition
 // its finite, aggregated flows.
+//
+// The generator is the serial face of the two-phase design: a programSource
+// (phase 1) makes every random draw in admission order, and the event heap
+// (phase 2) turns the resulting flow programs into packets with no RNG at
+// all. StreamParallel runs the same two phases with the synthesis sharded
+// across workers; Checkpoints replays any sub-window of it from the nearest
+// checkpoint. All three produce bit-identical packet streams.
 type Generator struct {
-	cfg      Config
-	rng      *rand.Rand
-	arrivals *dist.PoissonProcess
-	events   eventHeap
-	nextArr  float64
-	seq      uint64
-	flowID   uint32
-	stats    Summary
+	cfg    Config
+	src    *programSource
+	events eventHeap
+	admit  func(FlowProgram) // pushes a program's first-packet event
+	stats  Summary
 }
 
 // Summary aggregates what the generator produced; the per-trace rows of the
@@ -281,110 +302,16 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
-	// Sessions arrive at Lambda/FlowsPerSession so the expected flow
-	// arrival rate stays Lambda.
-	arr, err := dist.NewPoissonProcess(c.Lambda/c.FlowsPerSession, rng)
+	src, err := newProgramSource(c)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	g := &Generator{cfg: c, rng: rng, arrivals: arr}
-	g.nextArr = g.arrivals.Next()
+	g := &Generator{cfg: c, src: src}
+	g.admit = func(p FlowProgram) {
+		f := &flowState{prog: p}
+		g.events.pushEvent(event{time: p.Start + f.nextOffset(), seq: uint64(p.Index), flow: f})
+	}
 	return g, nil
-}
-
-// dstPorts is the destination-port mix flows cycle through. A package-level
-// array keeps newFlow from allocating the slice literal once per flow.
-var dstPorts = [...]uint16{80, 443, 25, 53, 8080}
-
-// geometric draws a geometric count with the given mean (support 1, 2, ...).
-func geometric(mean float64, rng *rand.Rand) int {
-	if mean <= 1 {
-		return 1
-	}
-	p := 1 / mean
-	n := 1
-	for rng.Float64() > p {
-		n++
-	}
-	return n
-}
-
-// newFlow draws a fresh flow to the given destination prefix, starting at
-// time t.
-func (g *Generator) newFlow(t float64, prefix uint32) *flowState {
-	c := &g.cfg
-	sizeB := int(math.Ceil(g.cfg.SizeBytes.Sample(g.rng)))
-	if sizeB < 40 {
-		sizeB = 40
-	}
-	rate := c.RateBps.Sample(g.rng)
-	d := float64(sizeB) * 8 / rate
-	if d < c.MinDuration {
-		d = c.MinDuration
-	}
-	b := c.ShotB.Sample(g.rng)
-	if b < 0 {
-		b = 0
-	}
-	g.flowID++
-	id := g.flowID
-	proto := netpkt.ProtoTCP
-	if g.rng.Float64() < c.UDPFraction {
-		proto = netpkt.ProtoUDP
-	}
-	// Destination: 172.16.0.0/12-style space carved into /24s; host byte
-	// from the flow id so flows to the same prefix still differ.
-	dst := netpkt.AddrFromUint32(0xAC10_0000 | prefix<<8 | (id % 253) + 1)
-	// Source: 10.0.0.0/8 space from the flow id.
-	src := netpkt.AddrFromUint32(0x0A00_0000 | (id*2654435761)>>8)
-	hdr := netpkt.Header{
-		SrcIP:    src,
-		DstIP:    dst,
-		Protocol: proto,
-		SrcPort:  uint16(1024 + id%60000),
-		DstPort:  dstPorts[id%uint32(len(dstPorts))],
-		TTL:      64,
-	}
-	return &flowState{
-		start:    t,
-		duration: d,
-		sizeB:    sizeB,
-		invBp1:   1 / (b + 1),
-		pktBytes: c.PktBytes,
-		hdr:      hdr,
-	}
-}
-
-// admitSession creates the member flows of one session arriving at t and
-// pushes their first-packet events.
-func (g *Generator) admitSession(t, horizon float64) {
-	c := &g.cfg
-	var prefix uint32
-	if g.rng.Float64() < c.PopularFraction {
-		prefix = uint32(g.rng.Intn(c.PopularPrefixes))
-	} else {
-		prefix = uint32(c.PopularPrefixes + g.rng.Intn(c.Prefixes-c.PopularPrefixes))
-	}
-	n := geometric(c.FlowsPerSession, g.rng)
-	start := t
-	for i := 0; i < n; i++ {
-		if i > 0 && c.SessionFlowGapSec > 0 {
-			start += g.rng.ExpFloat64() * c.SessionFlowGapSec
-		}
-		if start >= horizon {
-			return
-		}
-		f := g.newFlow(start, prefix)
-		if start >= c.Warmup {
-			g.stats.Flows++
-			if f.sizeB <= f.pktBytes {
-				g.stats.OnePktFlows++
-			}
-		}
-		g.seq++
-		g.events.pushEvent(event{time: f.start + f.nextOffset(), seq: g.seq, flow: f})
-	}
 }
 
 // Next returns the next packet in time order. ok is false once the trace
@@ -396,16 +323,15 @@ func (g *Generator) Next() (rec Record, ok bool) {
 		// Admit any session arrivals that precede the earliest pending
 		// packet. Member flows may start later than the session arrival;
 		// the heap orders their packets correctly either way.
-		for g.nextArr < horizon &&
-			(g.events.Len() == 0 || g.nextArr <= g.events.peekTime()) {
-			g.admitSession(g.nextArr, horizon)
-			g.nextArr = g.arrivals.Next()
+		for g.src.peekArrival() < horizon &&
+			(g.events.Len() == 0 || g.src.peekArrival() <= g.events.peekTime()) {
+			g.src.nextSession(horizon, g.admit)
 		}
 		if g.events.Len() == 0 {
 			g.stats.Duration = g.cfg.Duration
 			if g.cfg.Duration > 0 {
 				g.stats.AvgRateBps = float64(g.stats.Bytes) * 8 / g.cfg.Duration
-				g.stats.FlowRate = float64(g.stats.Flows) / g.cfg.Duration
+				g.stats.FlowRate = float64(g.src.flows) / g.cfg.Duration
 			}
 			return Record{}, false
 		}
@@ -418,22 +344,17 @@ func (g *Generator) Next() (rec Record, ok bool) {
 		}
 		f := ev.flow
 		// Emit the packet beginning at byte position f.sentB.
-		pkt := f.pktBytes
-		if remaining := f.sizeB - f.sentB; remaining < pkt {
-			pkt = remaining
-		}
-		f.sentB += pkt
+		pkt := f.takePacket()
 		emitTime := ev.time
 		if !f.done() {
-			g.seq++
-			g.events.pushEvent(event{time: f.start + f.nextOffset(), seq: g.seq, flow: f})
+			g.events.pushEvent(event{time: f.prog.Start + f.nextOffset(), seq: ev.seq, flow: f})
 		}
 		// Packets during warm-up are generated (they advance flow state)
 		// but not emitted.
 		if emitTime < g.cfg.Warmup {
 			continue
 		}
-		hdr := f.hdr
+		hdr := f.prog.Hdr
 		hdr.TotalLen = uint16(pkt)
 		rec = Record{Time: emitTime - g.cfg.Warmup, Hdr: hdr}
 		g.stats.Packets++
@@ -443,7 +364,12 @@ func (g *Generator) Next() (rec Record, ok bool) {
 }
 
 // Stats returns the running summary; final once Next has returned ok=false.
-func (g *Generator) Stats() Summary { return g.stats }
+func (g *Generator) Stats() Summary {
+	s := g.stats
+	s.Flows = g.src.flows
+	s.OnePktFlows = g.src.onePkt
+	return s
+}
 
 // Records returns a single-use iterator over the remaining packets of the
 // trace, in time order. It is the range-over-func face of Next: ranging to
@@ -493,12 +419,30 @@ func GenerateAll(cfg Config) ([]Record, Summary, error) {
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	est := int(cfg.Duration * cfg.Lambda * 8)
+	// ~8 packets per flow at the default mix; clamped so a huge (or
+	// overflowing) Duration·Lambda product cannot turn into a bogus
+	// allocation — append growth covers anything beyond the clamp.
+	est := capacityEstimate(cfg.Duration * cfg.Lambda * 8)
 	recs := make([]Record, 0, est)
 	for r := range g.Records() {
 		recs = append(recs, r)
 	}
 	return recs, g.Stats(), nil
+}
+
+// GenerateAllParallel is GenerateAll with packet synthesis sharded across
+// the given worker pool (see StreamParallel); the records are bit-identical
+// to GenerateAll's at any worker count.
+func GenerateAllParallel(cfg Config, workers int) ([]Record, Summary, error) {
+	recs := make([]Record, 0, capacityEstimate(cfg.Duration*cfg.Lambda*8))
+	sum, err := StreamParallel(cfg, workers, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	return recs, sum, nil
 }
 
 // MergeSorted merges two time-ordered record slices into one, preserving

@@ -36,6 +36,7 @@ func TestConfigValidation(t *testing.T) {
 		{Duration: 10},
 		{Duration: 10, Lambda: 5},
 		{Duration: 10, Lambda: 5, SizeBytes: size, RateBps: rate, ShotB: dist.Constant{V: 1}, PktBytes: 10},
+		{Duration: 10, Lambda: 5, SizeBytes: size, RateBps: rate, ShotB: dist.Constant{V: 1}, PktBytes: 70000},
 		{Duration: 10, Lambda: 5, SizeBytes: size, RateBps: rate, ShotB: dist.Constant{V: 1}, FlowsPerSession: 0.5},
 		{Duration: 10, Lambda: 5, SizeBytes: size, RateBps: rate, ShotB: dist.Constant{V: 1}, SessionFlowGapSec: -1},
 		{Duration: 10, Lambda: 5, SizeBytes: size, RateBps: rate, ShotB: dist.Constant{V: 1}, UDPFraction: 1.5},

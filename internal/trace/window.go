@@ -13,14 +13,17 @@ import (
 // re-measurement) can replay them on demand instead of holding an
 // O(interval) buffer alive.
 //
-// Replay cost is proportional to the trace prefix up to Hi (the generator
-// must be run from its origin to reproduce the flows in progress at Lo), so
-// windows are cheap near the trace start and are meant for occasional
-// replay, not as the bulk measurement path — the streaming pipeline
-// partitions a single generator pass for that.
+// Replay cost for a plain window is proportional to the trace prefix up to
+// Hi (the generator must be run from its origin to reproduce the flows in
+// progress at Lo), so windows are cheap near the trace start and are meant
+// for occasional replay, not as the bulk measurement path — the streaming
+// pipeline partitions a single generator pass for that. A window obtained
+// from Checkpoints.Window instead replays from the nearest checkpoint in
+// O(window + active flows), making deep offsets as cheap as shallow ones.
 type Window struct {
 	Lo, Hi float64
 	cfg    Config
+	ck     *Checkpoints // non-nil: replay from the checkpoint index
 }
 
 // NewWindow validates cfg and the bounds and returns a replayable window
@@ -45,6 +48,11 @@ func (w Window) Duration() float64 { return w.Hi - w.Lo }
 // its seed and yields identical records; generation stops as soon as the
 // stream passes Hi.
 func (w Window) Records() iter.Seq[Record] {
+	if w.ck != nil {
+		return func(yield func(Record) bool) {
+			w.ck.replay(w.Lo, w.Hi, yield)
+		}
+	}
 	return func(yield func(Record) bool) {
 		g, err := NewGenerator(w.cfg)
 		if err != nil {

@@ -46,7 +46,7 @@ fi
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${2:-3x}"
-pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkLongTraceWorkers|BenchmarkIntervalSplitter|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance'
+pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkLongTraceWorkers|BenchmarkIntervalSplitter|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkTraceGenerationSharded|BenchmarkWindowReplayDeepOffset|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance'
 
 cd "$(dirname "$0")/.."
 
