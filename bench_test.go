@@ -14,12 +14,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/rng"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/mginf"
@@ -256,6 +256,54 @@ func benchTraceConfig() trace.Config {
 		Warmup:    30,
 		Seed:      11,
 	}
+}
+
+// BenchmarkSamplers measures the per-draw cost of the suite's flow-attribute
+// laws through the batched face phase 1 uses (256-draw blocks on the rng
+// core). ns/op is per draw.
+func BenchmarkSamplers(b *testing.B) {
+	size, _ := dist.NewBoundedPareto(1.3, 1500, 3e5)
+	rate, _ := dist.LognormalFromMoments(80e3, 1.5)
+	exp, _ := dist.NewExponential(1)
+	mix, _ := dist.NewMixture([]float64{7, 3}, []dist.Sampler{size, rate})
+	cases := []struct {
+		name string
+		s    dist.Sampler
+	}{
+		{"uniform", dist.Uniform{Lo: 1.5, Hi: 2.5}},
+		{"exponential", exp},
+		{"boundedpareto", size},
+		{"lognormal", rate},
+		{"mixture", mix},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			r := rng.New(1)
+			var buf [256]float64
+			for n := 0; n < b.N; n += len(buf) {
+				k := len(buf)
+				if rem := b.N - n; rem < k {
+					k = rem
+				}
+				dist.SampleN(c.s, buf[:k], r)
+			}
+		})
+	}
+}
+
+// BenchmarkProgramsPhase1 isolates the serial RNG-only flow-program pass —
+// the floor every -genworkers scaling pushes against.
+func BenchmarkProgramsPhase1(b *testing.B) {
+	cfg := benchTraceConfig()
+	var flows int64
+	for i := 0; i < b.N; i++ {
+		progs, _, err := trace.Programs(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows += int64(len(progs))
+	}
+	b.ReportMetric(float64(flows)/float64(b.N), "flows/op")
 }
 
 func BenchmarkTraceGeneration(b *testing.B) {
@@ -498,13 +546,9 @@ func BenchmarkMGInfSimulation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rng := newRand(int64(i))
-		if _, err := q.Simulate(100, 0.5, rng); err != nil {
+		r := rng.New(int64(i))
+		if _, err := q.Simulate(100, 0.5, r); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
-
-// newRand is a local helper so the benchmark file reads without importing
-// math/rand at the top amid the domain imports.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -6,7 +6,7 @@ package core_test
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/dist/rng"
 	"testing"
 	"testing/quick"
 
@@ -47,7 +47,7 @@ func TestModelReducesToMGInf(t *testing.T) {
 		t.Fatalf("variance: model %g vs r²ρ %g", got, want)
 	}
 	// The M/G/∞ simulated occupancy, scaled by r, matches too.
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	samples, err := q.Simulate(3000, 0.5, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestModelReducesToMGInf(t *testing.T) {
 // structure: numerically, Var = ∫Γ(ω)dω over the real line (Wiener-
 // Khintchine at τ=0). Check with a coarse quadrature on a light model.
 func TestSpectralDensityIntegratesToVariance(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rng.New(6)
 	flows := make([]core.FlowSample, 40)
 	for i := range flows {
 		s := 1e5 * (0.5 + rng.Float64())
@@ -102,12 +102,12 @@ func TestSpectralDensityIntegratesToVariance(t *testing.T) {
 // for random packet sequences.
 func TestFlowMeasurementConservesPackets(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		n := int(nRaw)%200 + 2
 		recs := make([]trace.Record, n)
 		tm := 0.0
 		for i := range recs {
-			tm += rng.ExpFloat64() * 2
+			tm += rng.Exp() * 2
 			recs[i] = trace.Record{
 				Time: tm,
 				Hdr: netpkt.Header{
@@ -152,10 +152,10 @@ func TestFlowMeasurementConservesPackets(t *testing.T) {
 // on the exceedance scale when λ is large (many concurrent flows): compare
 // the Gaussian P(R > μ+2σ) ≈ 2.3% with the skewness-corrected expectation.
 func TestGaussianApproxSanity(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rng.New(7)
 	flows := make([]core.FlowSample, 500)
 	for i := range flows {
-		s := 5e4 * math.Exp(0.5*rng.NormFloat64())
+		s := 5e4 * math.Exp(0.5*rng.Norm())
 		flows[i] = core.FlowSample{S: s, D: 0.5 + rng.Float64()}
 	}
 	m, err := core.NewModel(2000, core.Triangular, flows) // heavy multiplexing

@@ -1,15 +1,22 @@
 // Package dist provides the random samplers the synthetic trace generator
 // and the M/G/∞ machinery draw from: flow sizes, per-flow rates, shot
 // exponents and Poisson arrival processes. Every sampler is driven by an
-// externally supplied *rand.Rand so the whole pipeline is deterministic
+// externally supplied *rng.Rand so the whole pipeline is deterministic
 // under a fixed seed, and exposes its analytic mean so calibration code
 // (e.g. deriving λ from a target utilisation) needs no Monte Carlo.
+//
+// Samplers have two faces: Sample draws one value, SampleN fills a slice in
+// one call. The batched face is what the generator's phase-1 hot path uses —
+// it amortises the interface dispatch of a Sampler field over a whole block
+// of draws, which is where the per-flow cost of a trace goes once the
+// underlying rng core is a few nanoseconds per draw.
 package dist
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
+
+	"repro/internal/dist/rng"
 )
 
 // Sampler draws iid values from one distribution. Implementations must be
@@ -17,9 +24,31 @@ import (
 // concurrent generators, each with its own rng.
 type Sampler interface {
 	// Sample draws one value using the given source of randomness.
-	Sample(rng *rand.Rand) float64
+	Sample(r *rng.Rand) float64
 	// Mean returns the analytic expectation (may be +Inf for heavy tails).
 	Mean() float64
+}
+
+// SamplerN is the batched face: SampleN fills dst with len(dst) iid draws,
+// consuming the stream exactly as len(dst) successive Sample calls would —
+// the batched and scalar paths are draw-for-draw equivalent, so switching a
+// call site between them never moves an output.
+type SamplerN interface {
+	Sampler
+	SampleN(dst []float64, r *rng.Rand)
+}
+
+// SampleN fills dst from s, using its batched path when implemented and
+// falling back to per-value draws otherwise. Every sampler in this package
+// implements SamplerN; the fallback exists for third-party Samplers.
+func SampleN(s Sampler, dst []float64, r *rng.Rand) {
+	if sn, ok := s.(SamplerN); ok {
+		sn.SampleN(dst, r)
+		return
+	}
+	for i := range dst {
+		dst[i] = s.Sample(r)
+	}
 }
 
 // Constant is the degenerate distribution at V.
@@ -28,7 +57,14 @@ type Constant struct {
 }
 
 // Sample returns V.
-func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+func (c Constant) Sample(*rng.Rand) float64 { return c.V }
+
+// SampleN fills dst with V.
+func (c Constant) SampleN(dst []float64, _ *rng.Rand) {
+	for i := range dst {
+		dst[i] = c.V
+	}
+}
 
 // Mean returns V.
 func (c Constant) Mean() float64 { return c.V }
@@ -47,7 +83,14 @@ func NewUniform(lo, hi float64) (Uniform, error) {
 }
 
 // Sample draws uniformly from [Lo, Hi).
-func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + (u.Hi-u.Lo)*rng.Float64() }
+func (u Uniform) Sample(r *rng.Rand) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// SampleN fills dst with uniform draws.
+func (u Uniform) SampleN(dst []float64, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = u.Lo + (u.Hi-u.Lo)*r.Float64()
+	}
+}
 
 // Mean returns (Lo+Hi)/2.
 func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
@@ -66,8 +109,15 @@ func NewExponential(rate float64) (Exponential, error) {
 	return Exponential{Rate: rate}, nil
 }
 
-// Sample draws Exp(Rate).
-func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Rate }
+// Sample draws Exp(Rate) via the ziggurat.
+func (e Exponential) Sample(r *rng.Rand) float64 { return r.Exp() / e.Rate }
+
+// SampleN fills dst with Exp(Rate) draws.
+func (e Exponential) SampleN(dst []float64, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = r.Exp() / e.Rate
+	}
+}
 
 // Mean returns 1/Rate.
 func (e Exponential) Mean() float64 { return 1 / e.Rate }
@@ -90,11 +140,25 @@ func NewPareto(alpha, xm float64) (Pareto, error) {
 	return Pareto{Alpha: alpha, Xm: xm}, nil
 }
 
+// invPow computes x^(-e) for x in (0, 1] via the exp∘log identity: the
+// Pareto inverse-CDF hot path never needs math.Pow's generality (negative
+// bases, huge exponents), and exp∘log is about twice as fast.
+func invPow(x, e float64) float64 {
+	return math.Exp(-e * math.Log(x))
+}
+
 // Sample draws by inverting the CDF.
-func (p Pareto) Sample(rng *rand.Rand) float64 {
+func (p Pareto) Sample(r *rng.Rand) float64 {
 	// 1-U avoids u == 0 (Float64 is in [0, 1)), which would blow up the
 	// inverse CDF.
-	return p.Xm / math.Pow(1-rng.Float64(), 1/p.Alpha)
+	return p.Xm * invPow(1-r.Float64(), 1/p.Alpha)
+}
+
+// SampleN fills dst by inverting the CDF per draw.
+func (p Pareto) SampleN(dst []float64, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = p.Xm * invPow(1-r.Float64(), 1/p.Alpha)
+	}
 }
 
 // Mean returns α·Xm/(α-1), or +Inf when α <= 1.
@@ -132,14 +196,29 @@ func NewBoundedPareto(alpha, lo, hi float64) (BoundedPareto, error) {
 	}, nil
 }
 
-// Sample draws by inverting the truncated CDF.
-func (b BoundedPareto) Sample(rng *rand.Rand) float64 {
-	tm, inv := b.tailMass, b.invAlpha
+// params returns the cached inversion constants, deriving them when the
+// value was built without NewBoundedPareto.
+func (b BoundedPareto) params() (tm, inv float64) {
+	tm, inv = b.tailMass, b.invAlpha
 	if tm == 0 {
 		tm = 1 - math.Pow(b.L/b.H, b.Alpha)
 		inv = 1 / b.Alpha
 	}
-	return b.L / math.Pow(1-rng.Float64()*tm, inv)
+	return tm, inv
+}
+
+// Sample draws by inverting the truncated CDF.
+func (b BoundedPareto) Sample(r *rng.Rand) float64 {
+	tm, inv := b.params()
+	return b.L * invPow(1-r.Float64()*tm, inv)
+}
+
+// SampleN fills dst by inverting the truncated CDF per draw.
+func (b BoundedPareto) SampleN(dst []float64, r *rng.Rand) {
+	tm, inv := b.params()
+	for i := range dst {
+		dst[i] = b.L * invPow(1-r.Float64()*tm, inv)
+	}
 }
 
 // Mean returns the analytic expectation of the truncated law.
@@ -172,19 +251,31 @@ func LognormalFromMoments(mean, cov float64) (Lognormal, error) {
 	return Lognormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2)}, nil
 }
 
-// Sample draws exp(N(Mu, Sigma²)).
-func (l Lognormal) Sample(rng *rand.Rand) float64 {
-	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+// Sample draws exp(N(Mu, Sigma²)) via the ziggurat normal.
+func (l Lognormal) Sample(r *rng.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.Norm())
+}
+
+// SampleN fills dst with lognormal draws.
+func (l Lognormal) SampleN(dst []float64, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = math.Exp(l.Mu + l.Sigma*r.Norm())
+	}
 }
 
 // Mean returns exp(Mu + Sigma²/2).
 func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
 
 // Mixture draws from one of several component samplers with fixed
-// probabilities (the mice/elephants flow-size law).
+// probabilities (the mice/elephants flow-size law). Component selection is
+// O(1) via a Walker/Vose alias table, whatever the component count.
 type Mixture struct {
-	cum        []float64 // normalised cumulative weights
+	probs      []float64 // normalised weights, for Mean
 	components []Sampler
+	// Alias table: bucket i keeps itself with probability accept[i], else
+	// defers to alias[i]. One uniform draw selects a component.
+	accept []float64
+	alias  []int32
 }
 
 // NewMixture validates that weights and components align; weights need not
@@ -196,7 +287,7 @@ func NewMixture(weights []float64, components []Sampler) (*Mixture, error) {
 	}
 	var total float64
 	for i, w := range weights {
-		if w < 0 || math.IsNaN(w) {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 1) {
 			return nil, fmt.Errorf("dist: mixture weight %d is %g", i, w)
 		}
 		if components[i] == nil {
@@ -204,66 +295,136 @@ func NewMixture(weights []float64, components []Sampler) (*Mixture, error) {
 		}
 		total += w
 	}
-	if !(total > 0) {
+	if !(total > 0) || math.IsInf(total, 1) {
 		return nil, fmt.Errorf("dist: mixture weights sum to %g", total)
 	}
-	cum := make([]float64, len(weights))
-	var acc float64
-	for i, w := range weights {
-		acc += w / total
-		cum[i] = acc
+	n := len(weights)
+	m := &Mixture{
+		probs:      make([]float64, n),
+		components: components,
+		accept:     make([]float64, n),
+		alias:      make([]int32, n),
 	}
-	cum[len(cum)-1] = 1 // guard float round-off on the last bucket
-	return &Mixture{cum: cum, components: components}, nil
-}
-
-// Sample picks a component by weight, then samples it.
-func (m *Mixture) Sample(rng *rand.Rand) float64 {
-	u := rng.Float64()
-	for i, c := range m.cum {
-		if u < c {
-			return m.components[i].Sample(rng)
+	// Vose's alias construction: scale weights to mean 1, then pair each
+	// under-full bucket with an over-full donor. Linear time, and exact: the
+	// residual float mass left on the stacks at the end belongs to buckets
+	// whose scaled weight is within rounding of 1.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		m.probs[i] = w / total
+		scaled[i] = m.probs[i] * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
 		}
 	}
-	return m.components[len(m.components)-1].Sample(rng)
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		m.accept[s] = scaled[s]
+		m.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		m.accept[i] = 1
+		m.alias[i] = i
+	}
+	for _, i := range small {
+		m.accept[i] = 1
+		m.alias[i] = i
+	}
+	return m, nil
+}
+
+// pick selects a component index with one uniform draw.
+func (m *Mixture) pick(r *rng.Rand) int {
+	u := r.Float64() * float64(len(m.accept))
+	i := int(u)
+	if i >= len(m.accept) { // u == n-ε rounding guard
+		i = len(m.accept) - 1
+	}
+	if u-float64(i) < m.accept[i] {
+		return i
+	}
+	return int(m.alias[i])
+}
+
+// Sample picks a component by weight in O(1), then samples it.
+func (m *Mixture) Sample(r *rng.Rand) float64 {
+	return m.components[m.pick(r)].Sample(r)
+}
+
+// SampleN fills dst, picking a component per slot. Draw order is
+// slot-by-slot (pick, then component draw), identical to len(dst)
+// successive Sample calls.
+func (m *Mixture) SampleN(dst []float64, r *rng.Rand) {
+	for i := range dst {
+		dst[i] = m.components[m.pick(r)].Sample(r)
+	}
 }
 
 // Mean returns the weight-averaged component means. Zero-weight components
 // are skipped, not multiplied: a disabled heavy-tail component with an
 // infinite mean must not turn the mixture mean into 0·Inf = NaN.
 func (m *Mixture) Mean() float64 {
-	var mean, prev float64
-	for i, c := range m.cum {
-		if w := c - prev; w > 0 {
+	var mean float64
+	for i, w := range m.probs {
+		if w > 0 {
 			mean += w * m.components[i].Mean()
 		}
-		prev = c
 	}
 	return mean
 }
 
 // PoissonProcess produces the arrival epochs of a homogeneous Poisson
-// process of the given rate: successive calls to Next return increasing
-// absolute times whose gaps are iid Exp(rate).
+// process of the given rate: successive calls to Next return strictly
+// increasing absolute times whose gaps are iid Exp(rate).
 type PoissonProcess struct {
 	rate float64
-	rng  *rand.Rand
+	rng  *rng.Rand
 	t    float64
 }
 
-// NewPoissonProcess validates the rate and binds the process to rng.
-func NewPoissonProcess(rate float64, rng *rand.Rand) (*PoissonProcess, error) {
-	if !(rate > 0) {
-		return nil, fmt.Errorf("dist: poisson rate must be > 0, got %g", rate)
+// NewPoissonProcess validates the rate and binds the process to r.
+func NewPoissonProcess(rate float64, r *rng.Rand) (*PoissonProcess, error) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return nil, fmt.Errorf("dist: poisson rate must be positive and finite, got %g", rate)
 	}
-	if rng == nil {
+	if r == nil {
 		return nil, fmt.Errorf("dist: poisson process needs a rng")
 	}
-	return &PoissonProcess{rate: rate, rng: rng}, nil
+	return &PoissonProcess{rate: rate, rng: r}, nil
 }
 
-// Next returns the next arrival epoch.
+// Next returns the next arrival epoch. The clock is guaranteed to make
+// strict, finite-safe progress: a zero gap (the ziggurat can return exactly
+// 0) or a gap lost to float absorption at a large t advances the epoch by
+// one ulp instead of stalling, and once the clock saturates at +Inf it stays
+// there — so a horizon comparison always terminates and t never goes
+// backwards or NaN.
 func (p *PoissonProcess) Next() float64 {
-	p.t += p.rng.ExpFloat64() / p.rate
-	return p.t
+	t := p.t + p.rng.Exp()/p.rate
+	if !(t > p.t) {
+		t = math.Nextafter(p.t, math.Inf(1))
+	}
+	p.t = t
+	return t
+}
+
+// NextN fills dst with the next len(dst) arrival epochs, equivalent to
+// len(dst) successive Next calls.
+func (p *PoissonProcess) NextN(dst []float64) {
+	for i := range dst {
+		dst[i] = p.Next()
+	}
 }

@@ -2,14 +2,15 @@ package dist
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"repro/internal/dist/rng"
 )
 
 // sampleMean draws n values with a fixed seed and averages them.
 func sampleMean(t *testing.T, s Sampler, seed int64, n int) float64 {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.New(seed)
 	var sum float64
 	for i := 0; i < n; i++ {
 		v := s.Sample(rng)
@@ -50,7 +51,7 @@ func TestUniform(t *testing.T) {
 		t.Fatalf("mean = %g, want 20", u.Mean())
 	}
 	checkMoments(t, "uniform", u, 0.01)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	for i := 0; i < 1000; i++ {
 		if v := u.Sample(rng); v < 10 || v >= 30 {
 			t.Fatalf("sample %g outside [10, 30)", v)
@@ -94,7 +95,7 @@ func TestPareto(t *testing.T) {
 		t.Fatalf("mean = %g, want %g", p.Mean(), want)
 	}
 	checkMoments(t, "pareto", p, 0.02)
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	for i := 0; i < 1000; i++ {
 		if v := p.Sample(rng); v < 3 {
 			t.Fatalf("sample %g below scale 3", v)
@@ -114,7 +115,7 @@ func TestBoundedPareto(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkMoments(t, "bounded pareto", b, 0.02)
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	for i := 0; i < 10000; i++ {
 		if v := b.Sample(rng); v < 1500 || v > 3e5 {
 			t.Fatalf("sample %g outside [1500, 3e5]", v)
@@ -151,7 +152,7 @@ func TestLognormalFromMoments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := l0.Sample(rand.New(rand.NewSource(1))); math.Abs(v-5) > 1e-9 {
+	if v := l0.Sample(rng.New(1)); math.Abs(v-5) > 1e-9 {
 		t.Fatalf("CoV 0 sample = %g, want 5", v)
 	}
 }
@@ -190,13 +191,13 @@ func TestMixture(t *testing.T) {
 }
 
 func TestPoissonProcess(t *testing.T) {
-	if _, err := NewPoissonProcess(0, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := NewPoissonProcess(0, rng.New(1)); err == nil {
 		t.Fatal("rate 0 should be rejected")
 	}
 	if _, err := NewPoissonProcess(1, nil); err == nil {
 		t.Fatal("nil rng should be rejected")
 	}
-	pp, err := NewPoissonProcess(50, rand.New(rand.NewSource(9)))
+	pp, err := NewPoissonProcess(50, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,16 +229,16 @@ func TestDeterminism(t *testing.T) {
 	l, _ := LognormalFromMoments(100, 1)
 	m, _ := NewMixture([]float64{1, 2}, []Sampler{u, b})
 	for _, s := range []Sampler{Constant{V: 1}, u, e, p, b, l, m} {
-		r1 := rand.New(rand.NewSource(77))
-		r2 := rand.New(rand.NewSource(77))
+		r1 := rng.New(77)
+		r2 := rng.New(77)
 		for i := 0; i < 100; i++ {
 			if a, b := s.Sample(r1), s.Sample(r2); a != b {
 				t.Fatalf("%T: draw %d differs: %g vs %g", s, i, a, b)
 			}
 		}
 	}
-	p1, _ := NewPoissonProcess(3, rand.New(rand.NewSource(5)))
-	p2, _ := NewPoissonProcess(3, rand.New(rand.NewSource(5)))
+	p1, _ := NewPoissonProcess(3, rng.New(5))
+	p2, _ := NewPoissonProcess(3, rng.New(5))
 	for i := 0; i < 100; i++ {
 		if a, b := p1.Next(), p2.Next(); a != b {
 			t.Fatalf("poisson arrival %d differs: %g vs %g", i, a, b)

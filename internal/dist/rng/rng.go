@@ -1,0 +1,129 @@
+// Package rng is the deterministic random-number core of the trace
+// generator's hot path: a xoshiro256++ generator with splitmix64 seeding,
+// derivable sub-streams, and ziggurat samplers for the exponential and
+// normal laws. Everything is a concrete type so the per-draw cost is a few
+// ALU operations with no interface dispatch — the per-flow sampler draws of
+// generation phase 1 are the serial floor of the whole pipeline, and this
+// package is what raised it (see README, "RNG determinism policy").
+//
+// Determinism contract: a Rand is a pure function of its (seed, stream)
+// pair. The same pair always yields the same draw sequence, on every
+// platform, across process restarts — the trace generator's bit-identical
+// replay guarantees are built on top of this. The package never falls back
+// to global or time-based state.
+package rng
+
+import "math/bits"
+
+// Rand is a xoshiro256++ generator (Blackman & Vigna, 2019): 256 bits of
+// state, period 2^256-1, passes BigCrush, ~1 ns per Uint64. It additionally
+// implements math/rand's Source and Source64, so legacy consumers can wrap
+// it in a *rand.Rand and draw from the same deterministic stream.
+//
+// A Rand is not safe for concurrent use; derive one stream per goroutine
+// with NewStream instead of sharing.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 is the seed expander recommended for xoshiro state
+// initialisation: sequential outputs of a splitmix64 walk are statistically
+// independent, so correlated user seeds (0, 1, 2, ...) still land on
+// well-separated xoshiro states.
+func splitmix64(z *uint64) uint64 {
+	*z += 0x9E3779B97F4A7C15
+	x := *z
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// New returns the generator for stream 0 of the given seed.
+func New(seed int64) *Rand {
+	return NewStream(seed, 0)
+}
+
+// NewStream derives an independent generator from (seed, stream): the
+// splittable face of the package. Each (seed, stream) pair expands through
+// splitmix64 into its own xoshiro state, so a trace seed can fan out into
+// per-purpose sub-streams (arrival structure, flow sizes, rates, ...) whose
+// draw sequences never perturb one another — consuming a batch from one
+// stream leaves every other stream untouched, which is what makes batched
+// refills safe to introduce without re-deriving golden outputs per call
+// site.
+func NewStream(seed int64, stream uint64) *Rand {
+	var r Rand
+	r.Reseed(seed, stream)
+	return &r
+}
+
+// Reseed resets the generator to the start of (seed, stream) in place,
+// letting a scratch Rand be reused across traces without reallocation.
+func (r *Rand) Reseed(seed int64, stream uint64) {
+	// Fold the stream id in with its own odd-constant multiply so
+	// (seed, stream) pairs spread over the splitmix walk; the +1 keeps
+	// stream 0 from collapsing onto the bare seed only when seed == 0.
+	z := uint64(seed) ^ bits.RotateLeft64((stream+1)*0xD1B54A32D192ED03, 32)
+	r.s[0] = splitmix64(&z)
+	r.s[1] = splitmix64(&z)
+	r.s[2] = splitmix64(&z)
+	r.s[3] = splitmix64(&z)
+	if r.s == [4]uint64{} {
+		// The all-zero state is the one fixed point of xoshiro; splitmix
+		// reaching it four times in a row is (2^-256)-unlikely, but the guard
+		// is free.
+		r.s[3] = 1
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	out := bits.RotateLeft64(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return out
+}
+
+// Int63 returns a non-negative 63-bit value (math/rand.Source).
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed resets the generator to stream 0 of the given seed
+// (math/rand.Source).
+func (r *Rand) Seed(seed int64) { r.Reseed(seed, 0) }
+
+// Float64 returns a uniform draw from [0, 1) with the full 53 bits of
+// float64 precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Uint64n returns a uniform draw from [0, n) without modulo bias, via
+// Lemire's multiply-shift rejection (one multiply in the common case).
+// n must be > 0: the empty range has no members to draw.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform draw from [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}

@@ -1,0 +1,133 @@
+package rng
+
+import "math"
+
+// Ziggurat samplers (Marsaglia & Tsang 2000) for the exponential and normal
+// laws: the density is covered by N equal-area horizontal strips, so a draw
+// is one Uint64 — low bits pick the strip, high bits place a point in it —
+// and a table compare accepts ~99% of candidates immediately. The slow
+// wedge/tail paths fall back to exact accept-reject against the true
+// density, so the sampled law is exact, not an approximation.
+//
+// The tables are generated at init from the canonical (r, v) constants:
+// r is the base-strip boundary and v the common strip area, chosen so the
+// equal-area recurrence x_{i+1} = f⁻¹(v/x_i + f(x_i)) started at x_1 = r
+// terminates at f = 1 (x = 0) after exactly N steps. Generating rather than
+// embedding the tables keeps them auditable against the recurrence itself
+// (TestZigguratTables re-derives the invariants).
+
+const (
+	expN = 256
+	// expR/expV: base boundary and strip area for f(x) = e^-x, N = 256.
+	expR = 7.69711747013104972
+	expV = 3.949659822581572e-3
+
+	normN = 128
+	// normR/normV: base boundary and strip area for f(x) = e^(-x²/2)
+	// (unnormalised), N = 128.
+	normR = 3.442619855899
+	normV = 9.91256303526217e-3
+)
+
+var (
+	// expX[i] is the width of strip i (expX[0] is the virtual base width
+	// v/f(r) > r, so a base draw past expX[1] = r selects the tail);
+	// expF[i] = f(expX[i]) is the strip's lower edge height.
+	expX [expN + 1]float64
+	expF [expN + 1]float64
+
+	normX [normN + 1]float64
+	normF [normN + 1]float64
+)
+
+// zigTables fills x[0..n] and f[0..n] for density fn with inverse inv, base
+// boundary r and strip area v, via the equal-area recurrence.
+func zigTables(x, f []float64, n int, r, v float64, fn, inv func(float64) float64) {
+	x[0] = v / fn(r) // virtual base width: r·f(r) + tail area, over f(r)
+	x[1] = r
+	for i := 1; i < n; i++ {
+		f[i] = fn(x[i])
+		if i < n-1 {
+			x[i+1] = inv(v/x[i] + f[i])
+		}
+	}
+	// The recurrence lands within float noise of x = 0 at step n; pin the
+	// apex exactly so the top strip's accept test never indexes past the
+	// curve.
+	x[n] = 0
+	f[0] = fn(x[0])
+	f[n] = 1
+}
+
+func init() {
+	zigTables(expX[:], expF[:], expN, expR, expV,
+		func(x float64) float64 { return math.Exp(-x) },
+		func(y float64) float64 { return -math.Log(y) },
+	)
+	zigTables(normX[:], normF[:], normN, normR, normV,
+		func(x float64) float64 { return math.Exp(-x * x / 2) },
+		func(y float64) float64 { return math.Sqrt(-2 * math.Log(y)) },
+	)
+}
+
+// Exp returns an exponential draw with rate 1 (mean 1).
+func (r *Rand) Exp() float64 {
+	base := 0.0
+	for {
+		u := r.Uint64()
+		i := u & (expN - 1)
+		x := float64(u>>11) * 0x1p-53 * expX[i]
+		if x < expX[i+1] {
+			// Inside the strip's all-under-curve sub-rectangle (for the base
+			// strip, expX[1] = r: inside [0, r) under height f(r)).
+			return base + x
+		}
+		if i == 0 {
+			// Tail: X | X > r is r + Exp(1) by memorylessness, so shift the
+			// base out by r and redraw.
+			base += expR
+			continue
+		}
+		// Wedge: uniform height within the strip, exact test against e^-x.
+		if expF[i]+r.Float64()*(expF[i+1]-expF[i]) < math.Exp(-x) {
+			return base + x
+		}
+	}
+}
+
+// Norm returns a standard normal draw (mean 0, variance 1).
+func (r *Rand) Norm() float64 {
+	for {
+		u := r.Uint64()
+		i := u & (normN - 1)
+		neg := u&normN != 0 // bit 7: sign, disjoint from strip and mantissa bits
+		x := float64(u>>11) * 0x1p-53 * normX[i]
+		if x < normX[i+1] {
+			if neg {
+				return -x
+			}
+			return x
+		}
+		if i == 0 {
+			// Marsaglia's exact tail sampler for |X| > r.
+			for {
+				xt := r.Exp() / normR
+				y := r.Exp()
+				if y+y > xt*xt {
+					x = normR + xt
+					break
+				}
+			}
+			if neg {
+				return -x
+			}
+			return x
+		}
+		if normF[i]+r.Float64()*(normF[i+1]-normF[i]) < math.Exp(-x*x/2) {
+			if neg {
+				return -x
+			}
+			return x
+		}
+	}
+}

@@ -90,11 +90,17 @@ type flowState struct {
 	firstBits float64
 }
 
-// Assembler groups packets of one key type K into flows.
+// Assembler groups packets of one key type K into flows. In-progress flow
+// states live in a slot-recycled slab indexed by the key map, not behind
+// per-flow pointers: assembling a multi-million-flow trace costs amortised
+// slice growth, never an allocation per flow — the measurement pipeline's
+// per-packet path stays allocation-free.
 type Assembler[K comparable] struct {
-	keyFn     func(*netpkt.Header) K
+	keyFn     func(netpkt.Header) K
 	timeout   float64
-	active    map[K]*flowState
+	active    map[K]int32
+	states    []flowState
+	freeSlots []int32
 	res       Result
 	lastSweep float64
 	lastTime  float64
@@ -103,7 +109,9 @@ type Assembler[K comparable] struct {
 
 // NewAssembler returns a streaming assembler. keyFn extracts the flow key;
 // timeout must be positive (use DefaultTimeout for the paper's 60 s).
-func NewAssembler[K comparable](keyFn func(*netpkt.Header) K, timeout float64) (*Assembler[K], error) {
+// keyFn takes the header by value so the per-packet call through the
+// function value cannot make the record escape.
+func NewAssembler[K comparable](keyFn func(netpkt.Header) K, timeout float64) (*Assembler[K], error) {
 	if keyFn == nil {
 		return nil, fmt.Errorf("flow: nil key function")
 	}
@@ -113,8 +121,19 @@ func NewAssembler[K comparable](keyFn func(*netpkt.Header) K, timeout float64) (
 	return &Assembler[K]{
 		keyFn:   keyFn,
 		timeout: timeout,
-		active:  make(map[K]*flowState),
+		active:  make(map[K]int32),
 	}, nil
+}
+
+// alloc returns a free slab slot.
+func (a *Assembler[K]) alloc() int32 {
+	if n := len(a.freeSlots); n > 0 {
+		slot := a.freeSlots[n-1]
+		a.freeSlots = a.freeSlots[:n-1]
+		return slot
+	}
+	a.states = append(a.states, flowState{})
+	return int32(len(a.states) - 1)
 }
 
 // Add consumes one packet. Packets must arrive in non-decreasing time order.
@@ -124,22 +143,31 @@ func (a *Assembler[K]) Add(rec trace.Record) error {
 	}
 	a.started = true
 	a.lastTime = rec.Time
-	key := a.keyFn(&rec.Hdr)
+	key := a.keyFn(rec.Hdr)
 	bits := rec.Bits()
-	st, ok := a.active[key]
-	if ok && rec.Time-st.last > a.timeout {
-		// The previous flow on this key timed out; finalise it and start a
-		// fresh flow with this packet.
-		a.finish(st)
-		ok = false
-	}
+	slot, ok := a.active[key]
 	if !ok {
-		a.active[key] = &flowState{
+		slot = a.alloc()
+		a.active[key] = slot
+	}
+	st := &a.states[slot]
+	switch {
+	case !ok:
+		*st = flowState{
 			start: rec.Time, last: rec.Time,
 			bytes: int64(rec.Hdr.TotalLen), packets: 1,
 			firstBits: bits,
 		}
-	} else {
+	case rec.Time-st.last > a.timeout:
+		// The previous flow on this key timed out; finalise it and start a
+		// fresh flow with this packet, reusing the slot in place.
+		a.finish(st)
+		*st = flowState{
+			start: rec.Time, last: rec.Time,
+			bytes: int64(rec.Hdr.TotalLen), packets: 1,
+			firstBits: bits,
+		}
+	default:
 		st.last = rec.Time
 		st.bytes += int64(rec.Hdr.TotalLen)
 		st.packets++
@@ -154,10 +182,12 @@ func (a *Assembler[K]) Add(rec trace.Record) error {
 }
 
 func (a *Assembler[K]) sweep(now float64) {
-	for k, st := range a.active {
+	for k, slot := range a.active {
+		st := &a.states[slot]
 		if now-st.last > a.timeout {
 			a.finish(st)
 			delete(a.active, k)
+			a.freeSlots = append(a.freeSlots, slot)
 		}
 	}
 }
@@ -176,7 +206,8 @@ func (a *Assembler[K]) finish(st *flowState) {
 }
 
 // ActiveFlows returns the number of in-progress flows (the N(t) of the
-// M/G/∞ view, §V-A, sampled at the last packet time).
+// M/G/∞ view, §V-A, sampled at the last packet time). Flows idle past the
+// timeout but not yet swept are still counted, as before the slab rewrite.
 func (a *Assembler[K]) ActiveFlows() int { return len(a.active) }
 
 // Flush finalises all in-progress flows (end of trace or of an analysis
@@ -189,9 +220,10 @@ func (a *Assembler[K]) ActiveFlows() int { return len(a.active) }
 // broken on end time and size): flow eviction walks Go maps, whose order
 // varies between runs, and downstream statistics must be reproducible.
 func (a *Assembler[K]) Flush() Result {
-	for k, st := range a.active {
-		a.finish(st)
+	for k, slot := range a.active {
+		a.finish(&a.states[slot])
 		delete(a.active, k)
+		a.freeSlots = append(a.freeSlots, slot)
 	}
 	out := a.res
 	a.res = Result{}

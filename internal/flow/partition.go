@@ -8,10 +8,11 @@ import (
 )
 
 // streamBatch is how many records travel per channel operation between a
-// partitioner and an interval consumer: large enough to amortise the channel
-// synchronisation to noise per record, small enough that a batch is a
-// fraction of an interval.
-const streamBatch = 512
+// partitioner and an interval consumer; batches are recycled through the
+// pipeline-wide pool in trace (GetRecordBatch/PutRecordBatch), so a
+// suite-length measurement pass reuses a handful of batches per worker
+// instead of allocating tens of MB of them.
+const streamBatch = trace.RecordBatchSize
 
 // IntervalStream is one analysis interval's sub-stream of a partitioned
 // record stream. Record times are rebased to the interval start. The stream
@@ -27,17 +28,22 @@ type IntervalStream struct {
 // Records returns the interval's packets in time order, interval-local.
 // The sequence is single-use and must be ranged to completion (breaking
 // early still drains the remainder internally, so the producing partitioner
-// never blocks on an abandoned stream).
+// never blocks on an abandoned stream). Batches are recycled after the
+// consumer has seen their records, so a consumer must not retain record
+// memory past its yield (records are values; copying fields is fine).
 func (is *IntervalStream) Records() iter.Seq[trace.Record] {
 	return func(yield func(trace.Record) bool) {
 		for batch := range is.batches {
 			for _, rec := range batch {
 				if !yield(rec) {
-					for range is.batches {
+					trace.PutRecordBatch(batch)
+					for b := range is.batches {
+						trace.PutRecordBatch(b)
 					}
 					return
 				}
 			}
+			trace.PutRecordBatch(batch)
 		}
 	}
 }
@@ -145,7 +151,7 @@ func (p *IntervalPartitioner) Add(rec trace.Record) error {
 	}
 	rec.Time -= p.clock.origin()
 	if p.pend == nil {
-		p.pend = make([]trace.Record, 0, streamBatch)
+		p.pend = trace.GetRecordBatch()
 	}
 	p.pend = append(p.pend, rec)
 	if len(p.pend) == streamBatch {

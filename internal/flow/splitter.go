@@ -19,13 +19,13 @@ type streamMeasurer interface {
 func newMeasurer(def Definition, timeout float64) (streamMeasurer, error) {
 	switch def {
 	case By5Tuple:
-		return NewAssembler((*netpkt.Header).Key5Tuple, timeout)
+		return NewAssembler(netpkt.Header.Key5Tuple, timeout)
 	case ByPrefix24:
-		return NewAssembler((*netpkt.Header).KeyPrefix, timeout)
+		return NewAssembler(netpkt.Header.KeyPrefix, timeout)
 	case ByPrefix16:
-		return NewAssembler(func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(16) }, timeout)
+		return NewAssembler(func(h netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(16) }, timeout)
 	case ByPrefix8:
-		return NewAssembler(func(h *netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(8) }, timeout)
+		return NewAssembler(func(h netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(8) }, timeout)
 	default:
 		return nil, fmt.Errorf("flow: unknown definition %d", int(def))
 	}

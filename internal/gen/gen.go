@@ -13,11 +13,11 @@ package gen
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/dist/rng"
 	"repro/internal/netpkt"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
@@ -84,8 +84,8 @@ func FluidSeries(cfg Config, delta float64) (timeseries.Series, error) {
 	if !(delta > 0) || delta > cfg.Duration {
 		return timeseries.Series{}, fmt.Errorf("gen: need 0 < delta <= duration")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pp, err := dist.NewPoissonProcess(cfg.Lambda, rng)
+	r := rng.New(cfg.Seed)
+	pp, err := dist.NewPoissonProcess(cfg.Lambda, r)
 	if err != nil {
 		return timeseries.Series{}, fmt.Errorf("gen: %w", err)
 	}
@@ -97,7 +97,7 @@ func FluidSeries(cfg Config, delta float64) (timeseries.Series, error) {
 		if t >= horizon {
 			break
 		}
-		fs := cfg.Flows[rng.Intn(len(cfg.Flows))]
+		fs := cfg.Flows[r.Intn(len(cfg.Flows))]
 		start := t - cfg.Warmup // window-relative arrival
 		end := start + fs.D
 		if end <= 0 {
@@ -140,8 +140,8 @@ func Packets(cfg Config, pktBytes int) ([]trace.Record, error) {
 	if pktBytes < 40 {
 		return nil, fmt.Errorf("gen: pktBytes must be >= 40, got %d", pktBytes)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pp, err := dist.NewPoissonProcess(cfg.Lambda, rng)
+	r := rng.New(cfg.Seed)
+	pp, err := dist.NewPoissonProcess(cfg.Lambda, r)
 	if err != nil {
 		return nil, fmt.Errorf("gen: %w", err)
 	}
@@ -154,7 +154,7 @@ func Packets(cfg Config, pktBytes int) ([]trace.Record, error) {
 		if t >= horizon {
 			break
 		}
-		fs := cfg.Flows[rng.Intn(len(cfg.Flows))]
+		fs := cfg.Flows[r.Intn(len(cfg.Flows))]
 		start := t - cfg.Warmup
 		if start+fs.D <= 0 {
 			continue

@@ -13,9 +13,9 @@ package mginf
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/dist"
+	"repro/internal/dist/rng"
 )
 
 // Queue is an M/G/∞ queue with arrival rate Lambda and service (flow
@@ -97,15 +97,15 @@ func (q *Queue) ConstantRateVariance(r float64) float64 {
 // min-heap of departures collapsed into sorted slices per sample step (the
 // sample path is only needed at the sampling grid, so exact event ordering
 // between samples is unnecessary).
-func (q *Queue) Simulate(horizon, sampleEvery float64, rng *rand.Rand) ([]float64, error) {
+func (q *Queue) Simulate(horizon, sampleEvery float64, r *rng.Rand) ([]float64, error) {
 	if !(horizon > 0) || !(sampleEvery > 0) || sampleEvery > horizon {
 		return nil, fmt.Errorf("mginf: need 0 < sampleEvery <= horizon")
 	}
-	if rng == nil {
+	if r == nil {
 		return nil, fmt.Errorf("mginf: nil rng")
 	}
 	warm := 10 * q.ServiceTime.Mean()
-	pp, err := dist.NewPoissonProcess(q.Lambda, rng)
+	pp, err := dist.NewPoissonProcess(q.Lambda, r)
 	if err != nil {
 		return nil, fmt.Errorf("mginf: %w", err)
 	}
@@ -119,7 +119,7 @@ func (q *Queue) Simulate(horizon, sampleEvery float64, rng *rand.Rand) ([]float6
 		if a >= total {
 			break
 		}
-		d := a + q.ServiceTime.Sample(rng)
+		d := a + q.ServiceTime.Sample(r)
 		lo := int(math.Ceil((a - warm) / sampleEvery))
 		hi := int(math.Ceil((d - warm) / sampleEvery)) // first grid point >= d
 		if lo < 0 {

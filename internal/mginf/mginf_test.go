@@ -2,7 +2,7 @@ package mginf
 
 import (
 	"math"
-	"math/rand"
+	"repro/internal/dist/rng"
 	"testing"
 
 	"repro/internal/dist"
@@ -138,7 +138,7 @@ func TestSimulateInsensitivity(t *testing.T) {
 			t.Fatal(err)
 		}
 		rho := q.Load()
-		rng := rand.New(rand.NewSource(int64(100 + i)))
+		rng := rng.New(int64(100 + i))
 		samples, err := q.Simulate(2000, 0.25, rng)
 		if err != nil {
 			t.Fatal(err)
@@ -165,7 +165,7 @@ func TestSimulateHeavyTailedService(t *testing.T) {
 		t.Fatal(err)
 	}
 	rho := q.Load()
-	rng := rand.New(rand.NewSource(7))
+	rng := rng.New(7)
 	samples, err := q.Simulate(3000, 0.5, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +178,7 @@ func TestSimulateHeavyTailedService(t *testing.T) {
 func TestSimulateValidation(t *testing.T) {
 	e, _ := dist.NewExponential(1)
 	q, _ := New(1, e)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	if _, err := q.Simulate(0, 1, rng); err == nil {
 		t.Fatal("zero horizon should be rejected")
 	}
@@ -193,11 +193,11 @@ func TestSimulateValidation(t *testing.T) {
 func TestSimulateDeterministic(t *testing.T) {
 	e, _ := dist.NewExponential(1)
 	q, _ := New(5, e)
-	a, err := q.Simulate(100, 1, rand.New(rand.NewSource(9)))
+	a, err := q.Simulate(100, 1, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := q.Simulate(100, 1, rand.New(rand.NewSource(9)))
+	b, err := q.Simulate(100, 1, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}

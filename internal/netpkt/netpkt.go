@@ -116,8 +116,11 @@ type PrefixKey struct {
 // String formats the key as CIDR.
 func (k PrefixKey) String() string { return k.DstPrefix.String() + "/24" }
 
-// Key5Tuple returns the 5-tuple flow key for a decoded header.
-func (h *Header) Key5Tuple() FlowKey {
+// Key5Tuple returns the 5-tuple flow key for a decoded header. The value
+// receiver is deliberate: flow assembly calls this through an opaque
+// function value on its per-packet path, and a pointer receiver would force
+// every packet record to escape to the heap there.
+func (h Header) Key5Tuple() FlowKey {
 	return FlowKey{
 		SrcIP:    h.SrcIP,
 		DstIP:    h.DstIP,
@@ -127,8 +130,9 @@ func (h *Header) Key5Tuple() FlowKey {
 	}
 }
 
-// KeyPrefix returns the destination /24 prefix key for a decoded header.
-func (h *Header) KeyPrefix() PrefixKey {
+// KeyPrefix returns the destination /24 prefix key for a decoded header
+// (value receiver for the same escape reason as Key5Tuple).
+func (h Header) KeyPrefix() PrefixKey {
 	return PrefixKey{DstPrefix: h.DstIP.Prefix24()}
 }
 

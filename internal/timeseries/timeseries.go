@@ -34,17 +34,36 @@ type Binner struct {
 
 // NewBinner prepares bins of length delta across [0, duration).
 func NewBinner(duration, delta float64) (*Binner, error) {
+	b := &Binner{}
+	if err := b.Reinit(duration, delta); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reinit re-targets the binner to a fresh [0, duration) window with bins of
+// delta, zeroing the bins and reusing their storage when it is large
+// enough — the per-worker scratch path of the measurement scheduler, which
+// bins thousands of intervals without reallocating.
+func (b *Binner) Reinit(duration, delta float64) error {
 	if !(delta > 0) {
-		return nil, fmt.Errorf("timeseries: delta must be > 0, got %g", delta)
+		return fmt.Errorf("timeseries: delta must be > 0, got %g", delta)
 	}
 	if !(duration > 0) {
-		return nil, fmt.Errorf("timeseries: duration must be > 0, got %g", duration)
+		return fmt.Errorf("timeseries: duration must be > 0, got %g", duration)
 	}
 	n := int(duration / delta)
 	if n == 0 {
-		return nil, fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
+		return fmt.Errorf("timeseries: duration %g shorter than delta %g", duration, delta)
 	}
-	return &Binner{delta: delta, duration: duration, bits: make([]float64, n)}, nil
+	b.delta, b.duration = delta, duration
+	if cap(b.bits) >= n {
+		b.bits = b.bits[:n]
+		clear(b.bits)
+	} else {
+		b.bits = make([]float64, n)
+	}
+	return nil
 }
 
 // Add accounts one packet of the given size at time t (relative to the

@@ -144,18 +144,19 @@ func (c *Checkpoints) replay(lo, hi float64, yield func(Record) bool) bool {
 	}
 	bAbs := c.boundary(j)
 
-	pl := &programPlayer{lo: loScan, hi: hiScan}
 	// Carry-over flows are active at the checkpoint already, so they admit
 	// eagerly; the fresh-arrival run — Start ∈ [b_j, hiScan), located by
 	// binary search in the start-sorted index (flows starting in (b_j, lo)
 	// postdate the checkpoint and belong to this run, not to active[j]) —
 	// admits lazily inside the player as replay reaches each start.
-	for _, idx := range c.active[j] {
-		pl.admit(c.progs[idx])
-	}
 	first := sort.Search(len(c.progs), func(i int) bool { return c.progs[i].Start >= bAbs })
 	end := first + sort.Search(len(c.progs)-first, func(i int) bool { return c.progs[first+i].Start >= hiScan })
-	pl.progs = c.progs[first:end]
+	var pl player
+	pl.initPlayer(loScan, hiScan, (end-first+len(c.active[j]))*8,
+		&sliceFeed{progs: c.progs[first:end]})
+	for _, idx := range c.active[j] {
+		pl.admit(&c.progs[idx])
+	}
 
 	ok := true
 	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {

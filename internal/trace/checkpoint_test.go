@@ -2,10 +2,10 @@ package trace
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/dist/rng"
 )
 
 // Checkpointed replay must be record-for-record identical to prefix replay
@@ -57,7 +57,7 @@ func TestCheckpointWindowMatchesPrefixReplay(t *testing.T) {
 // Random windows across many seeds hammer the boundary classification (a
 // flow in active[j] and in the fresh-arrival run must be two disjoint sets).
 func TestCheckpointWindowRandomized(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	r := rng.New(99)
 	for _, seed := range []int64{3, 17} {
 		cfg := smallConfig(seed, dist.Uniform{Lo: 0.5, Hi: 2.5})
 		ck, err := NewCheckpoints(cfg, 3.3)
@@ -65,8 +65,8 @@ func TestCheckpointWindowRandomized(t *testing.T) {
 			t.Fatal(err)
 		}
 		for trial := 0; trial < 12; trial++ {
-			lo := rng.Float64() * cfg.Duration
-			hi := lo + 0.1 + rng.Float64()*5
+			lo := r.Float64() * cfg.Duration
+			hi := lo + 0.1 + r.Float64()*5
 			ref, err := NewWindow(cfg, lo, hi)
 			if err != nil {
 				t.Fatal(err)
@@ -181,16 +181,16 @@ func TestFlowDstAddressStaysInPrefix(t *testing.T) {
 // geometric must stay exact for realistic means and terminate (capped) even
 // when the success probability underflows to ~0.
 func TestGeometricCapped(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	for i := 0; i < 1000; i++ {
-		if n := geometric(8, rng); n < 1 || n >= maxSessionFlows {
+		if n := geometric(8, r); n < 1 || n >= maxSessionFlows {
 			t.Fatalf("geometric(8) = %d out of expected range", n)
 		}
 	}
-	if n := geometric(1, rng); n != 1 {
+	if n := geometric(1, r); n != 1 {
 		t.Fatalf("geometric(1) = %d, want 1", n)
 	}
-	if n := geometric(math.MaxFloat64, rng); n != maxSessionFlows {
+	if n := geometric(math.MaxFloat64, r); n != maxSessionFlows {
 		t.Fatalf("geometric(huge) = %d, want the %d cap", n, maxSessionFlows)
 	}
 }

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dist/rng"
+	"repro/internal/netpkt"
+)
+
+// playerEmission is one packet as the player reports it.
+type playerEmission struct {
+	t     float64
+	pkt   int
+	index uint32 // recovered via SrcPort, which the test sets to the flow index
+}
+
+// bruteForce computes the exact expected emission sequence of a program
+// population over [lo, hi): every packet time from the closed-form pacing,
+// filtered to the window, sorted by the canonical (time, index) order.
+func bruteForce(progs []FlowProgram, lo, hi float64) []playerEmission {
+	var out []playerEmission
+	for i := range progs {
+		p := &progs[i]
+		for k := 0; k < p.NumPackets(); k++ {
+			t := p.PacketTime(k)
+			if t < lo || t >= hi {
+				continue
+			}
+			out = append(out, playerEmission{t: t, pkt: p.PacketSize(k), index: p.Index})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].t != out[j].t {
+			return out[i].t < out[j].t
+		}
+		return out[i].index < out[j].index
+	})
+	return out
+}
+
+func collectPlayer(pl *player) []playerEmission {
+	var out []playerEmission
+	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
+		out = append(out, playerEmission{t: t, pkt: pkt, index: uint32(hdr.SrcPort)})
+		return true
+	})
+	return out
+}
+
+func comparePlayer(t *testing.T, label string, got, want []playerEmission) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d packets, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: packet %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// adversarialPrograms builds a population designed to stress the bucket
+// queue's ordering: random overlapping flows, plus runs of exact clones
+// (identical Start and packet times, distinct indices — only the admission
+// index separates their emissions), all tagged with SrcPort = index so the
+// test can recover the flow from the emitted header.
+func adversarialPrograms(seed int64, n int) []FlowProgram {
+	r := rng.New(seed)
+	var progs []FlowProgram
+	idx := uint32(0)
+	add := func(start, dur float64, size int, invBp1 float64) {
+		idx++
+		progs = append(progs, FlowProgram{
+			Index:    idx,
+			Start:    start,
+			Duration: dur,
+			SizeB:    size,
+			InvBp1:   invBp1,
+			PktBytes: 1500,
+			Hdr:      netpkt.Header{SrcPort: uint16(idx)},
+		})
+	}
+	for i := 0; i < n; i++ {
+		start := r.Float64() * 30
+		dur := 0.01 + r.Float64()*12
+		size := 40 + r.Intn(30000)
+		inv := 1 / (1 + r.Float64()*2.5)
+		add(start, dur, size, inv)
+		if i%7 == 0 {
+			// Exact clones: equal float64 packet times, index-only ordering.
+			for c := 0; c < 3; c++ {
+				add(start, dur, size, inv)
+			}
+		}
+	}
+	return progs
+}
+
+// The player must reproduce the brute-force (time, index) order exactly —
+// eager admission (segments), lazy slice-feed admission (checkpoint
+// replay), shallow and deep windows, and a degenerate one-bucket span
+// alike.
+func TestPlayerMatchesBruteForce(t *testing.T) {
+	progs := adversarialPrograms(11, 300)
+	windows := []struct{ lo, hi float64 }{
+		{0, 50},           // everything
+		{3.7, 9.2},        // interior window: fast-forward + truncation
+		{20, 20.001},      // sliver: nb floors at minimum, heavy clamping
+		{0.5, 0.5 + 1e-9}, // degenerate span: one-bucket fallback
+	}
+	for _, w := range windows {
+		want := bruteForce(progs, w.lo, w.hi)
+
+		var eager player
+		eager.initPlayer(w.lo, w.hi, len(want), nil)
+		for i := range progs {
+			eager.admit(&progs[i])
+		}
+		comparePlayer(t, "eager", collectPlayer(&eager), want)
+
+		sorted := append([]FlowProgram(nil), progs...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if sorted[i].Start != sorted[j].Start {
+				return sorted[i].Start < sorted[j].Start
+			}
+			return sorted[i].Index < sorted[j].Index
+		})
+		var lazy player
+		lazy.initPlayer(w.lo, w.hi, len(want), &sliceFeed{progs: sorted})
+		comparePlayer(t, "lazy", collectPlayer(&lazy), want)
+
+		// A wildly wrong event estimate must not change the order, only the
+		// constants.
+		var tiny player
+		tiny.initPlayer(w.lo, w.hi, 0, nil)
+		for i := range progs {
+			tiny.admit(&progs[i])
+		}
+		comparePlayer(t, "tiny-estimate", collectPlayer(&tiny), want)
+	}
+}
+
+// Early stop from the consumer must not wedge or disorder the player.
+func TestPlayerEarlyStop(t *testing.T) {
+	progs := adversarialPrograms(13, 60)
+	want := bruteForce(progs, 0, 50)
+	var pl player
+	pl.initPlayer(0, 50, len(want), nil)
+	for i := range progs {
+		pl.admit(&progs[i])
+	}
+	var got []playerEmission
+	pl.play(func(tm float64, pkt int, hdr netpkt.Header) bool {
+		got = append(got, playerEmission{t: tm, pkt: pkt, index: uint32(hdr.SrcPort)})
+		return len(got) < 17
+	})
+	if len(got) != 17 && len(got) != len(want) {
+		t.Fatalf("early stop emitted %d packets", len(got))
+	}
+	comparePlayer(t, "prefix", got, want[:len(got)])
+	// Resuming after the stop continues the exact sequence.
+	rest := collectPlayer(&pl)
+	comparePlayer(t, "resume", rest, want[len(got):])
+}

@@ -2,9 +2,9 @@ package trace
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/dist"
+	"repro/internal/dist/rng"
 	"repro/internal/netpkt"
 )
 
@@ -13,10 +13,18 @@ import (
 // All of the generator's randomness lives in the per-flow draws — packet
 // emission inside a flow is fully deterministic given its program (the
 // power-shot pacing x(t) = a·t^b fixes every packet time in closed form) —
-// so everything downstream of this pass (the serial event-heap generator,
-// the sharded synthesiser, checkpointed window replay) is RNG-free and can
-// be reordered, sharded or replayed freely without touching the random
-// stream.
+// so everything downstream of this pass (the pull-based player, the sharded
+// synthesiser, checkpointed window replay) is RNG-free and can be reordered,
+// sharded or replayed freely without touching the random stream.
+//
+// Randomness comes from the rng core's splittable streams: the trace seed
+// fans out into one stream for the session structure (arrivals, prefix
+// choice, flow counts, gaps, protocol label) and one per flow-attribute
+// sampler (size, rate, shot exponent). Per-flow attributes are drawn in
+// blocks through the samplers' batched face, so the interface dispatch of a
+// Config sampler field is paid once per attrBatch flows instead of once per
+// flow — and because each sampler owns its stream, the block refills never
+// perturb any other draw in the trace.
 
 // FlowProgram is the complete deterministic description of one flow: the
 // handful of per-flow draws phase 1 makes, from which every packet time and
@@ -43,30 +51,49 @@ type FlowProgram struct {
 
 // End returns Start + Duration, an upper bound on the flow's packet times
 // (the last packet begins strictly before it).
-func (p FlowProgram) End() float64 { return p.Start + p.Duration }
+func (p *FlowProgram) End() float64 { return p.Start + p.Duration }
 
 // NumPackets returns the number of packets the flow is chopped into.
-func (p FlowProgram) NumPackets() int {
+func (p *FlowProgram) NumPackets() int {
 	return (p.SizeB + p.PktBytes - 1) / p.PktBytes
 }
 
 // PacketSize returns the wire size in bytes of packet k (0-based): full MTU
 // except for a final partial packet.
-func (p FlowProgram) PacketSize(k int) int {
+func (p *FlowProgram) PacketSize(k int) int {
 	if remaining := p.SizeB - k*p.PktBytes; remaining < p.PktBytes {
 		return remaining
 	}
 	return p.PktBytes
 }
 
+// powFrac computes frac^e for frac in [0, 1], e > 0, via the exp∘log
+// identity — about twice as fast as math.Pow, whose generality (negative
+// bases, integer exponents, ±Inf) the pacing never needs. Packet-time
+// determinism requires one canonical expression shared by every path, not
+// last-ulp agreement with Pow, and this is that expression.
+func powFrac(frac, e float64) float64 {
+	if frac == 0 {
+		return 0
+	}
+	return math.Exp(e * math.Log(frac))
+}
+
+// offsetAt returns the emission offset (from the flow start) of the packet
+// beginning at cumulative byte position sentB: the shot x(t) = a·t^b has
+// transmitted fraction (t/D)^(b+1) of S by offset t, so byte position c is
+// reached at t = D·(c/S)^(1/(b+1)). This is the one expression every
+// synthesis path computes packet times with, so their float64 results are
+// bit-identical by construction.
+func (p *FlowProgram) offsetAt(sentB int) float64 {
+	frac := float64(sentB) / float64(p.SizeB)
+	return p.Duration * powFrac(frac, p.InvBp1)
+}
+
 // PacketTime returns the emission time of packet k (0-based) on the
-// generator clock: the shot has transmitted fraction (t/D)^(b+1) of S by
-// offset t, so the byte position k·PktBytes is reached at
-// D·(c/S)^(1/(b+1)). The arithmetic matches the event-heap generator
-// operation for operation, so both produce bit-identical float64 times.
-func (p FlowProgram) PacketTime(k int) float64 {
-	frac := float64(k*p.PktBytes) / float64(p.SizeB)
-	return p.Start + p.Duration*math.Pow(frac, p.InvBp1)
+// generator clock.
+func (p *FlowProgram) PacketTime(k int) float64 {
+	return p.Start + p.offsetAt(k*p.PktBytes)
 }
 
 // FirstPacketNotBefore returns the smallest packet index k with
@@ -76,7 +103,7 @@ func (p FlowProgram) PacketTime(k int) float64 {
 // comparison nudges it onto the boundary. This is what lets a timeline shard
 // or a checkpointed window jump straight to its first packet instead of
 // replaying the flow's prefix.
-func (p FlowProgram) FirstPacketNotBefore(t float64) int {
+func (p *FlowProgram) FirstPacketNotBefore(t float64) int {
 	n := p.NumPackets()
 	if t <= p.Start {
 		return 0
@@ -85,7 +112,7 @@ func (p FlowProgram) FirstPacketNotBefore(t float64) int {
 		return n
 	}
 	// Invert the pacing: offset >= t-Start ⇔ k·PktBytes/SizeB >= ((t-Start)/D)^(b+1).
-	frac := math.Pow((t-p.Start)/p.Duration, 1/p.InvBp1)
+	frac := powFrac((t-p.Start)/p.Duration, 1/p.InvBp1)
 	k := int(frac * float64(p.SizeB) / float64(p.PktBytes))
 	if k < 0 {
 		k = 0
@@ -107,35 +134,81 @@ func (p FlowProgram) FirstPacketNotBefore(t float64) int {
 // maxSessionFlows caps the geometric draw of flows per session. The cap is
 // astronomically beyond any realistic draw (mean 8 reaches it with
 // probability (7/8)^65536), so it only matters as a guard against a
-// pathological FlowsPerSession sending the draw loop spinning.
+// pathological FlowsPerSession sending the inverse transform off to
+// infinity.
 const maxSessionFlows = 1 << 16
 
 // geometric draws a geometric count with the given mean (support 1, 2, ...,
-// capped at maxSessionFlows).
-func geometric(mean float64, rng *rand.Rand) int {
+// capped at maxSessionFlows) by inverting the CDF: one uniform draw instead
+// of a mean-long Bernoulli walk.
+func geometric(mean float64, r *rng.Rand) int {
 	if mean <= 1 {
 		return 1
 	}
 	p := 1 / mean
-	n := 1
-	for n < maxSessionFlows && rng.Float64() > p {
-		n++
+	// N = 1 + ⌊ln(1-U)/ln(1-p)⌋ is Geometric(p) on {1, 2, ...}.
+	ratio := math.Log1p(-r.Float64()) / math.Log1p(-p)
+	if ratio >= maxSessionFlows-1 || math.IsNaN(ratio) {
+		return maxSessionFlows
 	}
-	return n
+	return 1 + int(ratio)
 }
 
 // dstPorts is the destination-port mix flows cycle through. A package-level
 // array keeps newProgram from allocating the slice literal once per flow.
 var dstPorts = [...]uint16{80, 443, 25, 53, 8080}
 
+// Stream ids of the splittable rng fan-out. The session-structure stream
+// drives everything whose draw count shapes the arrival process; each
+// attribute sampler gets a private stream so its block refills are invisible
+// to the others.
+const (
+	streamSession = iota
+	streamSize
+	streamRate
+	streamShot
+)
+
+// attrBatch is how many per-flow attribute draws one block refill makes.
+// Big enough that the sampler interface dispatch amortises to noise per
+// flow, small enough that a tiny trace's wasted tail draws cost microseconds.
+const attrBatch = 256
+
+// attrBuf feeds one flow attribute from block refills of its own stream.
+type attrBuf struct {
+	s   dist.Sampler
+	rng *rng.Rand
+	pos int
+	buf [attrBatch]float64
+}
+
+func (b *attrBuf) init(s dist.Sampler, seed int64, stream uint64) {
+	b.s = s
+	b.rng = rng.NewStream(seed, stream)
+	b.pos = attrBatch // empty: first next() refills
+}
+
+func (b *attrBuf) next() float64 {
+	if b.pos == attrBatch {
+		dist.SampleN(b.s, b.buf[:], b.rng)
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}
+
 // programSource is the phase-1 state: the session arrival process plus the
-// per-flow draws, consumed strictly in admission order. Both the serial
-// generator and the sharded synthesiser sit on top of it, so their random
-// streams are identical by construction.
+// per-flow draws, consumed strictly in admission order. The serial
+// generator, the sharded synthesiser and the checkpoint index all sit on
+// top of it, so their random streams are identical by construction.
 type programSource struct {
 	cfg      Config // defaulted
-	rng      *rand.Rand
+	rng      *rng.Rand
 	arrivals *dist.PoissonProcess
+	size     attrBuf
+	rate     attrBuf
+	shot     attrBuf
 	nextArr  float64
 	flowID   uint32
 	flows    int64 // flows starting inside the measured window
@@ -144,14 +217,17 @@ type programSource struct {
 
 // newProgramSource builds the phase-1 pass over an already-defaulted config.
 func newProgramSource(c Config) (*programSource, error) {
-	rng := rand.New(rand.NewSource(c.Seed))
+	r := rng.NewStream(c.Seed, streamSession)
 	// Sessions arrive at Lambda/FlowsPerSession so the expected flow
 	// arrival rate stays Lambda.
-	arr, err := dist.NewPoissonProcess(c.Lambda/c.FlowsPerSession, rng)
+	arr, err := dist.NewPoissonProcess(c.Lambda/c.FlowsPerSession, r)
 	if err != nil {
 		return nil, err
 	}
-	s := &programSource{cfg: c, rng: rng, arrivals: arr}
+	s := &programSource{cfg: c, rng: r, arrivals: arr}
+	s.size.init(c.SizeBytes, c.Seed, streamSize)
+	s.rate.init(c.RateBps, c.Seed, streamRate)
+	s.shot.init(c.ShotB, c.Seed, streamShot)
 	s.nextArr = s.arrivals.Next()
 	return s, nil
 }
@@ -163,16 +239,16 @@ func (s *programSource) peekArrival() float64 { return s.nextArr }
 // time t, and accounts it in the phase-1 summary counters.
 func (s *programSource) newProgram(t float64, prefix uint32) FlowProgram {
 	c := &s.cfg
-	sizeB := int(math.Ceil(c.SizeBytes.Sample(s.rng)))
+	sizeB := int(math.Ceil(s.size.next()))
 	if sizeB < 40 {
 		sizeB = 40
 	}
-	rate := c.RateBps.Sample(s.rng)
+	rate := s.rate.next()
 	d := float64(sizeB) * 8 / rate
 	if d < c.MinDuration {
 		d = c.MinDuration
 	}
-	b := c.ShotB.Sample(s.rng)
+	b := s.shot.next()
 	if b < 0 {
 		b = 0
 	}
@@ -236,7 +312,7 @@ func (s *programSource) nextSession(horizon float64, emit func(FlowProgram)) boo
 	start := t
 	for i := 0; i < n; i++ {
 		if i > 0 && c.SessionFlowGapSec > 0 {
-			start += s.rng.ExpFloat64() * c.SessionFlowGapSec
+			start += s.rng.Exp() * c.SessionFlowGapSec
 		}
 		if start >= horizon {
 			break

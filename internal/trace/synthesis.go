@@ -12,17 +12,49 @@ import (
 // runs the phase-1 program pass, routing each program to every segment its
 // flow overlaps, and seals a segment — handing it to a worker pool — once
 // the arrival clock proves no later program can reach it. Workers replay a
-// per-segment event heap (jumping each flow straight to its first in-segment
+// per-segment player (jumping each flow straight to its first in-segment
 // packet in O(1) via the shot inverse), and a merger forwards the segments'
 // bounded batch streams in timeline order. Packets of different flows are
 // ordered by (time, flow admission index), which matches the serial
 // generator's emission order, so the merged stream is bit-identical to
 // Stream's at any worker count.
 
-// synthBatch is how many records travel per channel operation between a
-// segment worker and the merger (same amortisation reasoning as the
-// measurement pipeline's stream batches).
-const synthBatch = 512
+// RecordBatchSize is how many records travel per channel operation between
+// pipeline stages (segment workers to the merger here; the measurement
+// partitioner to interval consumers downstream): large enough to amortise
+// channel synchronisation to noise per record, small enough that a batch is
+// a fraction of any analysis interval.
+const RecordBatchSize = 512
+
+// batchPool recycles record batches once their consumer has forwarded the
+// records, bounding a pipeline's batch allocations to the in-flight window
+// instead of the stream length. Stored as *[]Record so Put never boxes a
+// fresh slice header. Shared by every batched record stream in the
+// pipeline via GetRecordBatch/PutRecordBatch.
+var batchPool = sync.Pool{}
+
+// GetRecordBatch returns an empty batch with RecordBatchSize capacity,
+// recycled when possible.
+func GetRecordBatch() []Record {
+	if p, _ := batchPool.Get().(*[]Record); p != nil {
+		return (*p)[:0]
+	}
+	return make([]Record, 0, RecordBatchSize)
+}
+
+// PutRecordBatch returns a drained batch to the pool once no consumer can
+// touch its records again. Safe for any slice: only usefully-sized ones
+// are kept.
+func PutRecordBatch(b []Record) {
+	if cap(b) < RecordBatchSize {
+		return
+	}
+	batchPool.Put(&b)
+}
+
+// synthBatch aliases the shared batch size for the segment channel sizing
+// below.
+const synthBatch = RecordBatchSize
 
 // synthSegmentBatches bounds each in-flight segment's buffered batches, so a
 // fast worker back-pressures on the merger instead of materialising its
@@ -30,79 +62,8 @@ const synthBatch = 512
 const synthSegmentBatches = 8
 
 // minSegmentSec keeps segments from becoming so short that per-segment
-// setup (program routing, heap rebuild) dominates the packet work.
+// setup (program routing, queue rebuild) dominates the packet work.
 const minSegmentSec = 1.0
-
-// programPlayer is the shared RNG-free event loop of phase 2: segment
-// workers and checkpointed window replay both drive it. It fast-forwards
-// each flow to its first packet at or after lo (the closed-form shot
-// inverse) and orders packets on the event heap with cross-flow ties broken
-// by the admission index — reproducing the serial generator's emission
-// order. Flows can be admitted eagerly up front (segments: their program
-// list is O(span overlap) anyway, and skipping the start sort keeps the
-// per-segment setup below the packet work) or handed over as a
-// start-sorted progs list the player admits lazily, each flow only once
-// the clock reaches its start — which keeps heap memory O(concurrently
-// active flows) when a checkpointed window spans a huge slice of trace,
-// using the sort order its index maintains anyway.
-type programPlayer struct {
-	lo, hi float64 // fast-forward target and event ceiling (generator clock)
-	progs  []FlowProgram
-	next   int
-	events eventHeap
-}
-
-// admit fast-forwards one program into the heap (used directly for
-// checkpoint carry-over flows, whose starts predate lo anyway).
-func (pl *programPlayer) admit(p FlowProgram) {
-	k := p.FirstPacketNotBefore(pl.lo)
-	if k >= p.NumPackets() {
-		return
-	}
-	f := &flowState{prog: p, sentB: k * p.PktBytes}
-	if t := p.Start + f.nextOffset(); t < pl.hi {
-		pl.events.pushEvent(event{time: t, seq: uint64(p.Index), flow: f})
-	}
-}
-
-// play emits every packet with time in [lo-ish, hi) in order; emit
-// returning false stops early. The emission step itself (takePacket,
-// conditional re-push) is the same flowState stepping the serial generator
-// runs, so the packet sequence is bit-identical to its.
-func (pl *programPlayer) play(emit func(t float64, pkt int, hdr netpkt.Header) bool) {
-	for {
-		// Admit start-sorted programs whose start the clock has reached:
-		// any event emitted before this point precedes their earliest
-		// packet, and at equal times admission-then-pop lets the heap's
-		// index tie-break order them exactly as the serial generator does.
-		for pl.next < len(pl.progs) &&
-			(pl.events.Len() == 0 || pl.progs[pl.next].Start <= pl.events.peekTime()) {
-			pl.admit(pl.progs[pl.next])
-			pl.next++
-		}
-		if pl.events.Len() == 0 {
-			return
-		}
-		ev := pl.events.popEvent()
-		// The heap min is past the span, so every pending event is too:
-		// later packets belong to the next shard (which re-derives them
-		// from the programs) or to nobody (horizon truncation). Programs
-		// not yet admitted start even later.
-		if ev.time >= pl.hi {
-			return
-		}
-		f := ev.flow
-		pkt := f.takePacket()
-		if !f.done() {
-			if t := f.prog.Start + f.nextOffset(); t < pl.hi {
-				pl.events.pushEvent(event{time: t, seq: ev.seq, flow: f})
-			}
-		}
-		if !emit(ev.time, pkt, f.prog.Hdr) {
-			return
-		}
-	}
-}
 
 // segment is one timeline shard of a synthesis pass. Bounds are on the
 // generator clock and cover [loAbs, hiAbs) of emitted time.
@@ -123,20 +84,21 @@ func (sg *segment) synthesize(warmup float64, skip *atomic.Bool) {
 	if skip.Load() {
 		return
 	}
-	// Eager admission: the heap's (time, index) ordering does not depend on
-	// admission order, and the flow states it holds are of the same order
-	// as the segment's program list itself.
-	pl := &programPlayer{lo: sg.loAbs, hi: sg.hiAbs}
+	// Eager admission: the queue's (time, index) ordering does not depend
+	// on admission order, and the events it holds are of the same order as
+	// the segment's program list itself.
+	var pl player
+	pl.initPlayer(sg.loAbs, sg.hiAbs, len(sg.progs)*8, nil)
 	for i := range sg.progs {
-		pl.admit(sg.progs[i])
+		pl.admit(&sg.progs[i])
 	}
-	batch := make([]Record, 0, synthBatch)
+	batch := GetRecordBatch()
 	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
 		hdr.TotalLen = uint16(pkt)
 		batch = append(batch, Record{Time: t - warmup, Hdr: hdr})
 		if len(batch) == synthBatch {
 			sg.batches <- batch
-			batch = make([]Record, 0, synthBatch)
+			batch = GetRecordBatch()
 			return !skip.Load()
 		}
 		return true
@@ -297,18 +259,18 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 	var firstErr error
 	for _, sg := range segs {
 		for batch := range sg.batches {
-			if firstErr != nil {
-				continue
-			}
-			for _, rec := range batch {
-				sum.Packets++
-				sum.Bytes += int64(rec.Hdr.TotalLen)
-				if err := fn(rec); err != nil {
-					firstErr = err
-					aborted.Store(true)
-					break
+			if firstErr == nil {
+				for _, rec := range batch {
+					sum.Packets++
+					sum.Bytes += int64(rec.Hdr.TotalLen)
+					if err := fn(rec); err != nil {
+						firstErr = err
+						aborted.Store(true)
+						break
+					}
 				}
 			}
+			PutRecordBatch(batch)
 		}
 		if sg.dispatched {
 			<-inflight

@@ -171,17 +171,17 @@ func TestProgramsMatchGenerator(t *testing.T) {
 		if p.Index == 0 || p.SizeB < 40 || p.Duration <= 0 || p.PktBytes <= 0 {
 			t.Fatalf("program %d malformed: %+v", i, p)
 		}
-		// PacketTime must replicate the event-heap's nextOffset arithmetic
-		// bit for bit at every byte position.
-		f := &flowState{prog: p}
+		// PacketTime must replicate the player's byte-cursor stepping bit
+		// for bit at every byte position.
+		sentB := 0
 		for k := 0; k < p.NumPackets(); k++ {
-			if got, want := p.PacketTime(k), p.Start+f.nextOffset(); got != want {
-				t.Fatalf("program %d packet %d: PacketTime %v, heap stepping %v", i, k, got, want)
+			if got, want := p.PacketTime(k), p.Start+p.offsetAt(sentB); got != want {
+				t.Fatalf("program %d packet %d: PacketTime %v, player stepping %v", i, k, got, want)
 			}
-			f.sentB += p.PacketSize(k)
+			sentB += p.PacketSize(k)
 		}
-		if f.sentB != p.SizeB {
-			t.Fatalf("program %d: packet sizes sum to %d, want %d", i, f.sentB, p.SizeB)
+		if sentB != p.SizeB {
+			t.Fatalf("program %d: packet sizes sum to %d, want %d", i, sentB, p.SizeB)
 		}
 	}
 }

@@ -17,13 +17,13 @@
 //     5-tuple flows, as observed on real backbones.
 //
 // Packets are produced in global timestamp order with bounded memory using
-// an event heap, so arbitrarily long traces stream in O(active flows) space.
+// a calendar-queue player over compact flow programs, so arbitrarily long
+// traces stream in O(active flows) space.
 package trace
 
 import (
 	"fmt"
 	"iter"
-	"math"
 
 	"repro/internal/dist"
 	"repro/internal/netpkt"
@@ -167,100 +167,6 @@ func (c *Config) withDefaults() (Config, error) {
 	return out, nil
 }
 
-// flowState tracks one in-progress flow inside a synthesis pass: its
-// immutable phase-1 program plus the emission cursor.
-type flowState struct {
-	prog  FlowProgram
-	sentB int // bytes emitted so far
-}
-
-// nextOffset returns the emission offset (from the flow start) of the packet
-// that begins at cumulative byte position sentB: the shot x(t) = a·t^b has
-// transmitted fraction (t/D)^{b+1} of S by time t, so the byte position c is
-// reached at t = D·(c/S)^{1/(b+1)}.
-func (f *flowState) nextOffset() float64 {
-	frac := float64(f.sentB) / float64(f.prog.SizeB)
-	return f.prog.Duration * math.Pow(frac, f.prog.InvBp1)
-}
-
-func (f *flowState) done() bool { return f.sentB >= f.prog.SizeB }
-
-// takePacket returns the wire size of the packet beginning at the cursor
-// (full MTU except a final partial packet) and advances the cursor past it.
-// Every synthesis path — the serial generator, segment workers, checkpoint
-// replay — steps flows through this one method so their packets agree.
-func (f *flowState) takePacket() int {
-	pkt := f.prog.PktBytes
-	if remaining := f.prog.SizeB - f.sentB; remaining < pkt {
-		pkt = remaining
-	}
-	f.sentB += pkt
-	return pkt
-}
-
-// event is an entry of the generator's time-ordered heap. seq is the flow's
-// admission index: packets of different flows landing on exactly equal
-// float64 times order by it, in every synthesis path (serial, sharded,
-// checkpointed) alike — which is what makes their streams identical by
-// construction rather than only almost surely.
-type event struct {
-	time float64
-	seq  uint64
-	flow *flowState
-}
-
-// eventHeap is a hand-rolled binary min-heap. container/heap would box every
-// event through its `any`-typed interface on the per-packet push/pop path —
-// one allocation per packet — so the sift operations are inlined here.
-type eventHeap []event
-
-func (h eventHeap) Len() int          { return len(h) }
-func (h eventHeap) peekTime() float64 { return h[0].time }
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) pushEvent(e event) {
-	q := append(*h, e)
-	for i := len(q) - 1; i > 0; {
-		p := (i - 1) / 2
-		if !q.less(i, p) {
-			break
-		}
-		q[i], q[p] = q[p], q[i]
-		i = p
-	}
-	*h = q
-}
-
-func (h *eventHeap) popEvent() event {
-	q := *h
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
-	for i := 0; ; {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && q.less(r, c) {
-			c = r
-		}
-		if !q.less(c, i) {
-			break
-		}
-		q[i], q[c] = q[c], q[i]
-		i = c
-	}
-	*h = q
-	return top
-}
-
 // Generator produces the packets of one synthetic trace in time order.
 // Flow arrivals follow a Poisson cluster (session) process: sessions arrive
 // Poisson at rate Lambda/FlowsPerSession, and each session emits a
@@ -271,17 +177,18 @@ func (h *eventHeap) popEvent() event {
 // its finite, aggregated flows.
 //
 // The generator is the serial face of the two-phase design: a programSource
-// (phase 1) makes every random draw in admission order, and the event heap
-// (phase 2) turns the resulting flow programs into packets with no RNG at
-// all. StreamParallel runs the same two phases with the synthesis sharded
-// across workers; Checkpoints replays any sub-window of it from the nearest
-// checkpoint. All three produce bit-identical packet streams.
+// (phase 1) makes every random draw in admission order, and a pull-based
+// player (phase 2) turns the resulting flow programs into packets with no
+// RNG at all, fast-forwarding every flow past the warm-up so discarded
+// packets are never synthesised. StreamParallel runs the same two phases
+// with the synthesis sharded across workers; Checkpoints replays any
+// sub-window of it from the nearest checkpoint. All three produce
+// bit-identical packet streams.
 type Generator struct {
-	cfg    Config
-	src    *programSource
-	events eventHeap
-	admit  func(FlowProgram) // pushes a program's first-packet event
-	stats  Summary
+	cfg   Config
+	src   *programSource
+	pl    player
+	stats Summary
 }
 
 // Summary aggregates what the generator produced; the per-trace rows of the
@@ -307,10 +214,14 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	g := &Generator{cfg: c, src: src}
-	g.admit = func(p FlowProgram) {
-		f := &flowState{prog: p}
-		g.events.pushEvent(event{time: p.Start + f.nextOffset(), seq: uint64(p.Index), flow: f})
-	}
+	horizon := c.Warmup + c.Duration
+	// The player's window is the emitted part of the timeline: flows are
+	// fast-forwarded past the warm-up in O(1) (closed-form shot inverse), so
+	// warm-up packets — generated-and-discarded by the pre-player design —
+	// cost nothing at all. Flow truncation at the horizon is the window's
+	// upper bound, exactly like a capture stopping.
+	g.pl.initPlayer(c.Warmup, horizon, estimateEvents(c.Duration, c.Lambda),
+		newSourceFeed(src, horizon, &g.pl))
 	return g, nil
 }
 
@@ -318,49 +229,21 @@ func NewGenerator(cfg Config) (*Generator, error) {
 // horizon is reached. Record times are relative to the end of the warm-up
 // period, i.e. they lie in [0, Duration).
 func (g *Generator) Next() (rec Record, ok bool) {
-	horizon := g.cfg.Warmup + g.cfg.Duration
-	for {
-		// Admit any session arrivals that precede the earliest pending
-		// packet. Member flows may start later than the session arrival;
-		// the heap orders their packets correctly either way.
-		for g.src.peekArrival() < horizon &&
-			(g.events.Len() == 0 || g.src.peekArrival() <= g.events.peekTime()) {
-			g.src.nextSession(horizon, g.admit)
+	t, pkt, hdr, ok := g.pl.step()
+	if !ok {
+		// The player drained its feed to the horizon, so the phase-1 flow
+		// counters are final; snapshot the derived rates (idempotent).
+		g.stats.Duration = g.cfg.Duration
+		if g.cfg.Duration > 0 {
+			g.stats.AvgRateBps = float64(g.stats.Bytes) * 8 / g.cfg.Duration
+			g.stats.FlowRate = float64(g.src.flows) / g.cfg.Duration
 		}
-		if g.events.Len() == 0 {
-			g.stats.Duration = g.cfg.Duration
-			if g.cfg.Duration > 0 {
-				g.stats.AvgRateBps = float64(g.stats.Bytes) * 8 / g.cfg.Duration
-				g.stats.FlowRate = float64(g.src.flows) / g.cfg.Duration
-			}
-			return Record{}, false
-		}
-		ev := g.events.popEvent()
-		// Flows in progress when the capture stops are truncated at the
-		// horizon, like a real capture: this packet and all later ones of
-		// the same flow are discarded.
-		if ev.time >= horizon {
-			continue
-		}
-		f := ev.flow
-		// Emit the packet beginning at byte position f.sentB.
-		pkt := f.takePacket()
-		emitTime := ev.time
-		if !f.done() {
-			g.events.pushEvent(event{time: f.prog.Start + f.nextOffset(), seq: ev.seq, flow: f})
-		}
-		// Packets during warm-up are generated (they advance flow state)
-		// but not emitted.
-		if emitTime < g.cfg.Warmup {
-			continue
-		}
-		hdr := f.prog.Hdr
-		hdr.TotalLen = uint16(pkt)
-		rec = Record{Time: emitTime - g.cfg.Warmup, Hdr: hdr}
-		g.stats.Packets++
-		g.stats.Bytes += int64(pkt)
-		return rec, true
+		return Record{}, false
 	}
+	hdr.TotalLen = uint16(pkt)
+	g.stats.Packets++
+	g.stats.Bytes += int64(pkt)
+	return Record{Time: t - g.cfg.Warmup, Hdr: hdr}, true
 }
 
 // Stats returns the running summary; final once Next has returned ok=false.
@@ -424,7 +307,11 @@ func GenerateAll(cfg Config) ([]Record, Summary, error) {
 	// allocation — append growth covers anything beyond the clamp.
 	est := capacityEstimate(cfg.Duration * cfg.Lambda * 8)
 	recs := make([]Record, 0, est)
-	for r := range g.Records() {
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
 		recs = append(recs, r)
 	}
 	return recs, g.Stats(), nil

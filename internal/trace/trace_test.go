@@ -195,11 +195,14 @@ func TestShotExponentControlsPacing(t *testing.T) {
 		rate := dist.Constant{V: 200e3}   // D = 4 s
 		cfg := Config{
 			Duration:  100,
-			Lambda:    0.03,
+			Lambda:    0.05,
 			SizeBytes: size,
 			RateBps:   rate,
 			ShotB:     dist.Constant{V: b},
-			Seed:      9,
+			// Plain independent flows: with the default session clustering a
+			// tiny lambda makes sessions so rare that a seed can roll zero.
+			FlowsPerSession: 1,
+			Seed:            9,
 		}
 		recs, _, err := GenerateAll(cfg)
 		if err != nil {
