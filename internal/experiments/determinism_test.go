@@ -84,6 +84,37 @@ func TestSuiteOutputDeterministicIntraTrace(t *testing.T) {
 	}
 }
 
+// The batch-columnar pipeline moves packets in SoA blocks whose size is a
+// pure transport choice: output must be byte-identical at any block size —
+// including size 1, where every interval-boundary and key-derivation edge
+// case fires per packet — alone and combined with both worker pools.
+func TestSuiteOutputDeterministicAcrossBlockSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	base := renderSuiteOpts(t, tinyOptions(), 1)
+	if len(base) == 0 {
+		t.Fatal("baseline run produced no output")
+	}
+	for _, bs := range []int{1, 64, 256} {
+		o := tinyOptions()
+		o.Workers = 1
+		o.blockSize = bs
+		if got := renderSuite(t, o); got != base {
+			t.Fatalf("output with block size %d differs from the default", bs)
+		}
+	}
+	// Odd block size riding both pools: block boundaries then straddle
+	// synthesis segment merges and interval handoffs arbitrarily.
+	o := tinyOptions()
+	o.Workers = 4
+	o.GenWorkers = 4
+	o.blockSize = 17
+	if got := renderSuite(t, o); got != base {
+		t.Fatal("output with block size 17 × workers=4 × genworkers=4 differs from the default")
+	}
+}
+
 // Sharded generation is the third axis of the scheduler: the synthesis pool
 // feeds each trace's interval partitioner a bit-identical stream, so suite
 // output must not depend on the generation worker count — alone or combined

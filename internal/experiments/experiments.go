@@ -51,6 +51,11 @@ type Options struct {
 	// Quiet suppresses per-point output, keeping only summaries (used by
 	// benchmarks).
 	Quiet bool
+	// blockSize overrides the record count of the SoA blocks the interval
+	// partitioner emits (0 = trace.BlockSize). Output is byte-identical at
+	// any size; the determinism tests set it to stress block-boundary
+	// handling in the batch measurement path.
+	blockSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -229,6 +234,18 @@ func (r *Runner) measureSuite() error {
 		totalIntervals += spec.Intervals
 	}
 
+	// Per-worker measurement scratch, built (and validated) before any
+	// goroutine exists: a construction error returns here instead of being
+	// discovered by a worker that has no clean way to report it.
+	measurers := make([]*flow.Measurer, workers)
+	for w := range measurers {
+		m, err := flow.NewMeasurer(suiteDefs, flow.DefaultTimeout)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		measurers[w] = m
+	}
+
 	// Sized to hold every interval of the suite, so a producer's handoff
 	// never blocks on the queue itself (only on the in-flight cap and its
 	// sub-stream buffer) and the producer/worker levels cannot deadlock at
@@ -248,23 +265,25 @@ func (r *Runner) measureSuite() error {
 
 	var taskWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		meas := measurers[w]
 		taskWG.Add(1)
 		go func() {
 			defer taskWG.Done()
-			// Per-worker scratch: one rate binner serves every interval this
-			// worker measures (Reinit reuses its bins), so binning costs no
-			// allocation per interval.
+			// Per-worker scratch: one rate binner and one flow measurer serve
+			// every interval this worker measures (Reinit/Reset reuse bins,
+			// key tables and state slabs), so an interval costs no
+			// measurement-machinery allocation.
 			binner := &timeseries.Binner{}
 			for tk := range tasks {
 				if aborted.Load() {
 					// Still drain the stream: its producer may be blocked
 					// mid-send on the buffer.
-					for range tk.stream.Records() {
+					for range tk.stream.Blocks() {
 					}
 					<-inflight
 					continue
 				}
-				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner); err != nil {
+				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner, meas); err != nil {
 					taskErrMu.Lock()
 					if taskErrs[tk.ti] == nil {
 						taskErrs[tk.ti] = fmt.Errorf("interval %d: %w", tk.stream.Index, err)
@@ -362,10 +381,16 @@ func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- interva
 	if err != nil {
 		return trace.Summary{}, err
 	}
+	if r.opts.blockSize > 0 {
+		if err := part.SetBlockSize(r.opts.blockSize); err != nil {
+			return trace.Summary{}, err
+		}
+	}
 	// The generation workers synthesise timeline shards concurrently and
-	// feed the partitioner one merged, time-ordered, bit-identical stream —
-	// the partitioner cannot tell it apart from the serial generator's.
-	sum, err := trace.StreamParallel(cfg, r.opts.GenWorkers, part.Add)
+	// feed the partitioner one merged, time-ordered, bit-identical block
+	// stream — the partitioner cannot tell it apart from the serial
+	// generator's.
+	sum, err := trace.StreamParallelBlocks(cfg, r.opts.GenWorkers, part.AddBlock)
 	if err != nil {
 		part.Abort()
 		return sum, err
@@ -377,32 +402,34 @@ func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- interva
 }
 
 // measureInterval is the scheduler's second level: it owns one interval
-// outright — fresh assemblers for both flow definitions, the worker's
-// scratch rate binner, and the model statistics — so intervals of the same
-// trace measure concurrently. The sub-stream is always drained to
-// completion (even on error or skip), so the producing trace is never left
-// blocked.
-func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResult, binner *timeseries.Binner) error {
+// outright — the worker's scratch measurer (re-armed flow tables for both
+// definitions), its scratch rate binner, and the model statistics — so
+// intervals of the same trace measure concurrently. The sub-stream is
+// always drained to completion (even on error or skip), so the producing
+// trace is never left blocked.
+func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResult, binner *timeseries.Binner, meas *flow.Measurer) error {
 	spec := r.specs[ti]
 	if err := binner.Reinit(spec.IntervalSec, r.opts.Delta); err != nil {
-		for range is.Records() {
+		for range is.Blocks() {
 		}
 		return err
 	}
-	// Bin in the same drain that feeds the assemblers: records are
-	// interval-local already, exactly what both consumers want.
-	binned := func(yield func(trace.Record) bool) {
-		for rec := range is.Records() {
-			binner.Add(rec.Time, rec.Bits())
-			if !yield(rec) {
-				return
-			}
+	meas.Reset()
+	// Bin in the same drain that feeds the flow tables: blocks are
+	// interval-local already, exactly what both consumers want, and each
+	// block's key columns are derived once for both definitions.
+	var addErr error
+	for blk := range is.Blocks() {
+		if addErr != nil {
+			continue // keep draining so the producer is never left blocked
 		}
+		binner.AddBlock(blk)
+		addErr = meas.AddBlock(blk)
 	}
-	results, err := flow.MeasureStream(binned, suiteDefs, flow.DefaultTimeout)
-	if err != nil {
-		return err
+	if addErr != nil {
+		return addErr
 	}
+	results := meas.Flush()
 	link := r.linkBps()
 	for di, def := range suiteDefs {
 		if len(results[di].Flows) < minIntervalFlows {

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/netpkt"
 	"repro/internal/trace"
 )
 
@@ -90,15 +89,16 @@ type flowState struct {
 	firstBits float64
 }
 
-// Assembler groups packets of one key type K into flows. In-progress flow
-// states live in a slot-recycled slab indexed by the key map, not behind
-// per-flow pointers: assembling a multi-million-flow trace costs amortised
-// slice growth, never an allocation per flow — the measurement pipeline's
-// per-packet path stays allocation-free.
-type Assembler[K comparable] struct {
-	keyFn     func(netpkt.Header) K
+// Assembler groups packets into flows under one definition. In-progress
+// flow states live in a slot-recycled slab indexed by an open-addressed
+// table over packed two-word keys: the per-packet path hashes its key once
+// (or receives a precomputed hash column via AddBlock) and probes flat
+// arrays — no generic map, no per-flow pointers, no allocation per flow;
+// assembling a multi-million-flow trace costs amortised slice growth only.
+type Assembler struct {
+	def       Definition
 	timeout   float64
-	active    map[K]int32
+	table     flowTable
 	states    []flowState
 	freeSlots []int32
 	res       Result
@@ -107,26 +107,35 @@ type Assembler[K comparable] struct {
 	started   bool
 }
 
-// NewAssembler returns a streaming assembler. keyFn extracts the flow key;
+// NewAssembler returns a streaming assembler for one flow definition;
 // timeout must be positive (use DefaultTimeout for the paper's 60 s).
-// keyFn takes the header by value so the per-packet call through the
-// function value cannot make the record escape.
-func NewAssembler[K comparable](keyFn func(netpkt.Header) K, timeout float64) (*Assembler[K], error) {
-	if keyFn == nil {
-		return nil, fmt.Errorf("flow: nil key function")
+func NewAssembler(def Definition, timeout float64) (*Assembler, error) {
+	if _, ok := prefixDrop(def); !ok && def != By5Tuple {
+		return nil, fmt.Errorf("flow: unknown definition %d", int(def))
 	}
 	if !(timeout > 0) {
 		return nil, fmt.Errorf("flow: timeout must be > 0, got %g", timeout)
 	}
-	return &Assembler[K]{
-		keyFn:   keyFn,
-		timeout: timeout,
-		active:  make(map[K]int32),
-	}, nil
+	a := &Assembler{def: def, timeout: timeout}
+	a.table.reset()
+	return a, nil
+}
+
+// Reset returns the assembler to its fresh state, keeping table and slab
+// storage — the per-interval re-arm of the measurement scheduler, which
+// measures thousands of intervals without reallocating its tables.
+func (a *Assembler) Reset() {
+	a.table.reset()
+	a.states = a.states[:0]
+	a.freeSlots = a.freeSlots[:0]
+	a.res = Result{}
+	a.lastSweep = 0
+	a.lastTime = 0
+	a.started = false
 }
 
 // alloc returns a free slab slot.
-func (a *Assembler[K]) alloc() int32 {
+func (a *Assembler) alloc() int32 {
 	if n := len(a.freeSlots); n > 0 {
 		slot := a.freeSlots[n-1]
 		a.freeSlots = a.freeSlots[:n-1]
@@ -136,63 +145,101 @@ func (a *Assembler[K]) alloc() int32 {
 	return int32(len(a.states) - 1)
 }
 
+// addPacked consumes one packet given its precomputed key triple. Time
+// order was validated by the caller.
+func (a *Assembler) addPacked(t float64, size uint16, h, ka, kb uint64) {
+	pos, ok := a.table.find(h, ka, kb)
+	if !ok {
+		slot := a.alloc()
+		a.table.insert(pos, h, ka, kb, slot)
+		a.states[slot] = flowState{
+			start: t, last: t,
+			bytes: int64(size), packets: 1,
+			firstBits: float64(size) * 8,
+		}
+	} else {
+		st := &a.states[a.table.slot[pos]]
+		if t-st.last > a.timeout {
+			// The previous flow on this key timed out; finalise it and start
+			// a fresh flow with this packet, reusing the slot in place.
+			a.finish(st)
+			*st = flowState{
+				start: t, last: t,
+				bytes: int64(size), packets: 1,
+				firstBits: float64(size) * 8,
+			}
+		} else {
+			st.last = t
+			st.bytes += int64(size)
+			st.packets++
+		}
+	}
+	// Periodic sweep: evict flows idle past the timeout so memory stays
+	// bounded by the number of genuinely active flows.
+	if t-a.lastSweep > a.timeout {
+		a.sweep(t)
+		a.lastSweep = t
+	}
+}
+
 // Add consumes one packet. Packets must arrive in non-decreasing time order.
-func (a *Assembler[K]) Add(rec trace.Record) error {
+func (a *Assembler) Add(rec trace.Record) error {
 	if a.started && rec.Time < a.lastTime {
 		return fmt.Errorf("flow: packet out of order: %g after %g", rec.Time, a.lastTime)
 	}
 	a.started = true
 	a.lastTime = rec.Time
-	key := a.keyFn(rec.Hdr)
-	bits := rec.Bits()
-	slot, ok := a.active[key]
-	if !ok {
-		slot = a.alloc()
-		a.active[key] = slot
-	}
-	st := &a.states[slot]
-	switch {
-	case !ok:
-		*st = flowState{
-			start: rec.Time, last: rec.Time,
-			bytes: int64(rec.Hdr.TotalLen), packets: 1,
-			firstBits: bits,
+	src, dst := rec.Hdr.Packed()
+	h, ka, kb := deriveOne(a.def, src, dst)
+	a.addPacked(rec.Time, rec.Hdr.TotalLen, h, ka, kb)
+	return nil
+}
+
+// AddBlock consumes a block of packets with precomputed key columns (hash,
+// keyA, keyB index-aligned with the block; a Measurer derives them once and
+// shares the derivation across its definitions). Packets must arrive in
+// non-decreasing time order across Add/AddBlock calls.
+func (a *Assembler) AddBlock(blk *trace.Block, hash, keyA, keyB []uint64) error {
+	n := blk.Len()
+	for j := 0; j < n; j++ {
+		t := blk.Times[j]
+		if a.started && t < a.lastTime {
+			return fmt.Errorf("flow: packet out of order: %g after %g", t, a.lastTime)
 		}
-	case rec.Time-st.last > a.timeout:
-		// The previous flow on this key timed out; finalise it and start a
-		// fresh flow with this packet, reusing the slot in place.
-		a.finish(st)
-		*st = flowState{
-			start: rec.Time, last: rec.Time,
-			bytes: int64(rec.Hdr.TotalLen), packets: 1,
-			firstBits: bits,
-		}
-	default:
-		st.last = rec.Time
-		st.bytes += int64(rec.Hdr.TotalLen)
-		st.packets++
-	}
-	// Periodic sweep: evict flows idle past the timeout so memory stays
-	// bounded by the number of genuinely active flows.
-	if rec.Time-a.lastSweep > a.timeout {
-		a.sweep(rec.Time)
-		a.lastSweep = rec.Time
+		a.started = true
+		a.lastTime = t
+		a.addPacked(t, blk.Sizes[j], hash[j], keyA[j], keyB[j])
 	}
 	return nil
 }
 
-func (a *Assembler[K]) sweep(now float64) {
-	for k, slot := range a.active {
+// sweep walks the table evicting idle flows. Backward-shift deletion can
+// move a not-yet-visited entry into the current position, so the position
+// is re-examined after a delete. A deletion chain that wraps the table
+// boundary can park an unvisited entry in the already-swept region; such
+// an idle flow merely survives until the next sweep or Flush — finish()
+// produces the identical record whenever it runs, so only the transient
+// memory bound is affected, never the results.
+func (a *Assembler) sweep(now float64) {
+	tb := &a.table
+	for i := uint64(0); i < uint64(len(tb.hash)); {
+		if tb.hash[i] == 0 {
+			i++
+			continue
+		}
+		slot := tb.slot[i]
 		st := &a.states[slot]
 		if now-st.last > a.timeout {
 			a.finish(st)
-			delete(a.active, k)
 			a.freeSlots = append(a.freeSlots, slot)
+			tb.del(i)
+			continue
 		}
+		i++
 	}
 }
 
-func (a *Assembler[K]) finish(st *flowState) {
+func (a *Assembler) finish(st *flowState) {
 	if st.packets == 1 {
 		a.res.Discarded = append(a.res.Discarded, DiscardedPacket{Time: st.start, Bits: st.firstBits})
 		return
@@ -208,7 +255,7 @@ func (a *Assembler[K]) finish(st *flowState) {
 // ActiveFlows returns the number of in-progress flows (the N(t) of the
 // M/G/∞ view, §V-A, sampled at the last packet time). Flows idle past the
 // timeout but not yet swept are still counted, as before the slab rewrite.
-func (a *Assembler[K]) ActiveFlows() int { return len(a.active) }
+func (a *Assembler) ActiveFlows() int { return a.table.n }
 
 // Flush finalises all in-progress flows (end of trace or of an analysis
 // interval — the paper's boundary splitting) and returns the result.
@@ -217,14 +264,20 @@ func (a *Assembler[K]) ActiveFlows() int { return len(a.active) }
 // paper's split flows.
 //
 // Flows and discarded packets are returned sorted by start time (ties
-// broken on end time and size): flow eviction walks Go maps, whose order
-// varies between runs, and downstream statistics must be reproducible.
-func (a *Assembler[K]) Flush() Result {
-	for k, slot := range a.active {
+// broken on end time and size): finalisation order depends on table
+// eviction order (and, before the table rewrite, on Go map iteration), and
+// downstream statistics must be reproducible.
+func (a *Assembler) Flush() Result {
+	tb := &a.table
+	for i := range tb.hash {
+		if tb.hash[i] == 0 {
+			continue
+		}
+		slot := tb.slot[i]
 		a.finish(&a.states[slot])
-		delete(a.active, k)
 		a.freeSlots = append(a.freeSlots, slot)
 	}
+	tb.reset()
 	out := a.res
 	a.res = Result{}
 	sort.Slice(out.Flows, func(i, j int) bool {
@@ -247,11 +300,9 @@ func (a *Assembler[K]) Flush() Result {
 	return out
 }
 
-// measureByDef runs recs through the assembler of one definition. Dedicated
-// comparable key types (not strings, see newMeasurer) keep the hot path
-// allocation-free.
+// measureByDef runs recs through the assembler of one definition.
 func measureByDef(recs []trace.Record, def Definition, timeout float64) (Result, error) {
-	a, err := newMeasurer(def, timeout)
+	a, err := NewAssembler(def, timeout)
 	if err != nil {
 		return Result{}, err
 	}

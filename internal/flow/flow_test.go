@@ -25,10 +25,10 @@ func rec(t float64, src, dst byte, sport uint16, bytes uint16) trace.Record {
 }
 
 func TestNewAssemblerValidation(t *testing.T) {
-	if _, err := NewAssembler[netpkt.FlowKey](nil, 60); err == nil {
-		t.Fatal("nil keyFn should be rejected")
+	if _, err := NewAssembler(Definition(99), 60); err == nil {
+		t.Fatal("unknown definition should be rejected")
 	}
-	if _, err := NewAssembler(netpkt.Header.Key5Tuple, 0); err == nil {
+	if _, err := NewAssembler(By5Tuple, 0); err == nil {
 		t.Fatal("zero timeout should be rejected")
 	}
 }
@@ -194,7 +194,7 @@ func TestSinglePacketFlowsDiscarded(t *testing.T) {
 }
 
 func TestOutOfOrderRejected(t *testing.T) {
-	a, err := NewAssembler(netpkt.Header.Key5Tuple, 60)
+	a, err := NewAssembler(By5Tuple, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestOutOfOrderRejected(t *testing.T) {
 }
 
 func TestFlushResetsAndSplits(t *testing.T) {
-	a, err := NewAssembler(netpkt.Header.Key5Tuple, 60)
+	a, err := NewAssembler(By5Tuple, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestFlushResetsAndSplits(t *testing.T) {
 }
 
 func TestEvictionSweepBoundsMemory(t *testing.T) {
-	a, err := NewAssembler(netpkt.Header.Key5Tuple, 60)
+	a, err := NewAssembler(By5Tuple, 60)
 	if err != nil {
 		t.Fatal(err)
 	}

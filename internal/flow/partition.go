@@ -7,43 +7,57 @@ import (
 	"repro/internal/trace"
 )
 
-// streamBatch is how many records travel per channel operation between a
-// partitioner and an interval consumer; batches are recycled through the
-// pipeline-wide pool in trace (GetRecordBatch/PutRecordBatch), so a
-// suite-length measurement pass reuses a handful of batches per worker
-// instead of allocating tens of MB of them.
-const streamBatch = trace.RecordBatchSize
-
 // IntervalStream is one analysis interval's sub-stream of a partitioned
-// record stream. Record times are rebased to the interval start. The stream
-// is produced concurrently with consumption: the partitioner keeps sending
-// record batches while a consumer drains Records, and closes the stream at
-// the interval boundary.
+// record stream, carried as SoA blocks. Record times are rebased to the
+// interval start. The stream is produced concurrently with consumption: the
+// partitioner keeps sending blocks while a consumer drains Blocks (or the
+// record-at-a-time Records view), and closes the stream at the interval
+// boundary.
 type IntervalStream struct {
-	Index   int
-	Start   float64
-	batches chan []trace.Record
+	Index  int
+	Start  float64
+	blocks chan *trace.Block
 }
 
-// Records returns the interval's packets in time order, interval-local.
-// The sequence is single-use and must be ranged to completion (breaking
-// early still drains the remainder internally, so the producing partitioner
-// never blocks on an abandoned stream). Batches are recycled after the
-// consumer has seen their records, so a consumer must not retain record
-// memory past its yield (records are values; copying fields is fine).
+// Blocks returns the interval's packets in time order, interval-local, one
+// SoA block at a time. The sequence is single-use and must be ranged to
+// completion (breaking early still drains the remainder internally, so the
+// producing partitioner never blocks on an abandoned stream). Blocks are
+// recycled after the consumer has seen them, so a consumer must not retain
+// a block or its columns past its yield (copying out values is fine).
+func (is *IntervalStream) Blocks() iter.Seq[*trace.Block] {
+	return func(yield func(*trace.Block) bool) {
+		for blk := range is.blocks {
+			ok := yield(blk)
+			trace.PutBlock(blk)
+			if !ok {
+				for b := range is.blocks {
+					trace.PutBlock(b)
+				}
+				return
+			}
+		}
+	}
+}
+
+// Records returns the interval's packets in time order, interval-local —
+// the record-at-a-time view over the block stream. Same single-use and
+// no-retention contract as Blocks (records are values; copying fields is
+// fine).
 func (is *IntervalStream) Records() iter.Seq[trace.Record] {
 	return func(yield func(trace.Record) bool) {
-		for batch := range is.batches {
-			for _, rec := range batch {
-				if !yield(rec) {
-					trace.PutRecordBatch(batch)
-					for b := range is.batches {
-						trace.PutRecordBatch(b)
+		for blk := range is.blocks {
+			n := blk.Len()
+			for i := 0; i < n; i++ {
+				if !yield(blk.Record(i)) {
+					trace.PutBlock(blk)
+					for b := range is.blocks {
+						trace.PutBlock(b)
 					}
 					return
 				}
 			}
-			trace.PutRecordBatch(batch)
+			trace.PutBlock(blk)
 		}
 	}
 }
@@ -60,17 +74,19 @@ func (is *IntervalStream) Records() iter.Seq[trace.Record] {
 // Interval accounting matches IntervalSplitter exactly: empty intervals
 // between packets are emitted (immediately-closed streams), and with a
 // declared duration every interval up to ⌈duration/intervalSec⌉ exists even
-// if the trace goes quiet early. Records travel in batches to amortise the
-// channel synchronisation, and a sub-stream holds at most ~buffer records
-// in flight, so a slow consumer back-pressures the producer instead of
-// letting memory grow with the trace.
+// if the trace goes quiet early. Records travel in SoA blocks to amortise
+// the channel synchronisation (and so consumers measure columns, not
+// records), and a sub-stream holds at most ~buffer records in flight, so a
+// slow consumer back-pressures the producer instead of letting memory grow
+// with the trace.
 type IntervalPartitioner struct {
-	clock   intervalClock
-	batches int // channel capacity of each sub-stream, in batches
-	handoff func(*IntervalStream) error
-	cur     *IntervalStream
-	pend    []trace.Record // current interval's not-yet-sent batch
-	closed  bool
+	clock     intervalClock
+	buffer    int // per-stream in-flight bound, in records
+	blockSize int // records per emitted block
+	handoff   func(*IntervalStream) error
+	cur       *IntervalStream
+	pend      *trace.Block // current interval's not-yet-sent block
+	closed    bool
 }
 
 // NewIntervalPartitioner builds a partitioner over intervals of intervalSec.
@@ -95,29 +111,49 @@ func NewIntervalPartitioner(intervalSec, duration float64, buffer int, handoff f
 	if handoff == nil {
 		return nil, fmt.Errorf("flow: partitioner needs a handoff callback")
 	}
-	batches := buffer / streamBatch
-	if batches < 1 {
-		batches = 1
+	return &IntervalPartitioner{
+		clock:     clock,
+		buffer:    buffer,
+		blockSize: trace.BlockSize,
+		handoff:   handoff,
+	}, nil
+}
+
+// SetBlockSize overrides how many records each emitted block carries
+// (default trace.BlockSize). The partitioned measurement is byte-identical
+// at any size — the knob exists for that determinism test and for tuning.
+// Must be called before the first Add.
+func (p *IntervalPartitioner) SetBlockSize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("flow: block size must be >= 1, got %d", n)
 	}
-	return &IntervalPartitioner{clock: clock, batches: batches, handoff: handoff}, nil
+	if p.cur != nil || p.closed {
+		return fmt.Errorf("flow: block size must be set before the first packet")
+	}
+	p.blockSize = n
+	return nil
 }
 
 // open starts the stream of the clock's current interval and hands it off.
 func (p *IntervalPartitioner) open() error {
+	cap := p.buffer / p.blockSize
+	if cap < 1 {
+		cap = 1
+	}
 	s := &IntervalStream{
-		Index:   p.clock.cur,
-		Start:   p.clock.origin(),
-		batches: make(chan []trace.Record, p.batches),
+		Index:  p.clock.cur,
+		Start:  p.clock.origin(),
+		blocks: make(chan *trace.Block, cap),
 	}
 	p.cur = s
 	return p.handoff(s)
 }
 
-// flushPend sends the current interval's pending batch; the consumer owns
-// the sent slice, so the next batch starts fresh.
+// flushPend sends the current interval's pending block; the consumer owns
+// the sent block, so the next one starts fresh from the pool.
 func (p *IntervalPartitioner) flushPend() {
-	if len(p.pend) > 0 {
-		p.cur.batches <- p.pend
+	if p.pend != nil && p.pend.Len() > 0 {
+		p.cur.blocks <- p.pend
 		p.pend = nil
 	}
 }
@@ -125,9 +161,22 @@ func (p *IntervalPartitioner) flushPend() {
 // advance closes the current interval's stream and opens the next.
 func (p *IntervalPartitioner) advance() error {
 	p.flushPend()
-	close(p.cur.batches)
+	close(p.cur.blocks)
 	p.clock.cur++
 	return p.open()
+}
+
+// append adds one rebased packet to the pending block, shipping it when
+// full.
+func (p *IntervalPartitioner) append(t float64, size uint16, src, dst uint64) {
+	if p.pend == nil {
+		p.pend = trace.GetBlock()
+	}
+	p.pend.Append(t, size, src, dst)
+	if p.pend.Len() >= p.blockSize {
+		p.cur.blocks <- p.pend
+		p.pend = nil
+	}
 }
 
 // Add routes one packet into its interval's sub-stream, opening (and closing)
@@ -149,14 +198,53 @@ func (p *IntervalPartitioner) Add(rec trace.Record) error {
 			return err
 		}
 	}
-	rec.Time -= p.clock.origin()
-	if p.pend == nil {
-		p.pend = trace.GetRecordBatch()
-	}
-	p.pend = append(p.pend, rec)
-	if len(p.pend) == streamBatch {
-		p.cur.batches <- p.pend
-		p.pend = nil
+	src, dst := rec.Hdr.Packed()
+	p.append(rec.Time-p.clock.origin(), rec.Hdr.TotalLen, src, dst)
+	return nil
+}
+
+// AddBlock routes a whole SoA block, splitting it at interval boundaries:
+// each same-interval run is copied into the interval's pending block with
+// times rebased during the copy. The passed block is not retained (the
+// producer may recycle it after AddBlock returns). On success, semantics
+// match per-record Add exactly; on a validation error the valid prefix of
+// the failing run is dropped rather than forwarded (the stream is
+// aborting — its current interval is torn down by Abort either way).
+func (p *IntervalPartitioner) AddBlock(blk *trace.Block) error {
+	n := blk.Len()
+	j := 0
+	for j < n {
+		idx, k, err := p.clock.placeRun(blk.Times, j)
+		if err != nil {
+			return err
+		}
+		if p.cur == nil {
+			if err := p.open(); err != nil {
+				return err
+			}
+		}
+		for p.clock.cur < idx {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		origin := p.clock.origin()
+		for i := j; i < k; {
+			if p.pend == nil {
+				p.pend = trace.GetBlock()
+			}
+			take := p.blockSize - p.pend.Len()
+			if rem := k - i; rem < take {
+				take = rem
+			}
+			p.pend.AppendRebased(blk, i, i+take, origin)
+			i += take
+			if p.pend.Len() >= p.blockSize {
+				p.cur.blocks <- p.pend
+				p.pend = nil
+			}
+		}
+		j = k
 	}
 	return nil
 }
@@ -187,7 +275,7 @@ func (p *IntervalPartitioner) Close() error {
 		}
 	}
 	p.flushPend()
-	close(p.cur.batches)
+	close(p.cur.blocks)
 	p.cur = nil
 	p.closed = true
 	return nil
@@ -204,7 +292,7 @@ func (p *IntervalPartitioner) Abort() {
 	}
 	if p.cur != nil {
 		p.flushPend()
-		close(p.cur.batches)
+		close(p.cur.blocks)
 		p.cur = nil
 	}
 	p.closed = true
@@ -212,38 +300,22 @@ func (p *IntervalPartitioner) Abort() {
 
 // MeasureStream assembles one interval-local record stream (times already
 // rebased, non-decreasing) into flows under several definitions at once —
-// the per-interval measurement unit of the two-level scheduler. The stream
-// is always drained to completion, even after an error, so a concurrent
+// the per-record face of the per-interval measurement unit. The stream is
+// always drained to completion, even after an error, so a concurrent
 // producer is never left blocked; the first error is returned after the
 // drain. Results are index-aligned with defs.
 func MeasureStream(recs iter.Seq[trace.Record], defs []Definition, timeout float64) ([]Result, error) {
-	asm := make([]streamMeasurer, len(defs))
-	var firstErr error
-	for i, def := range defs {
-		a, err := newMeasurer(def, timeout)
-		if err != nil {
-			firstErr = err
-			break
-		}
-		asm[i] = a
-	}
+	m, firstErr := NewMeasurer(defs, timeout)
 	for rec := range recs {
 		if firstErr != nil {
 			continue
 		}
-		for _, a := range asm {
-			if err := a.Add(rec); err != nil {
-				firstErr = err
-				break
-			}
+		if err := m.Add(rec); err != nil {
+			firstErr = err
 		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	out := make([]Result, len(asm))
-	for i, a := range asm {
-		out[i] = a.Flush()
-	}
-	return out, nil
+	return m.Flush(), nil
 }

@@ -8,27 +8,139 @@ import (
 	"repro/internal/trace"
 )
 
-// streamMeasurer is the non-generic face of Assembler[K], letting the
-// splitter hold assemblers with different key types side by side.
-type streamMeasurer interface {
-	Add(rec trace.Record) error
-	Flush() Result
+// Measurer measures one packet stream under several flow definitions at
+// once over shared key derivation: each block's per-definition key and hash
+// columns are derived from the packed Src/Dst columns in vector passes —
+// the 5-tuple in one pass over both columns, every prefix definition in one
+// shared pass over the dst column — so adding a definition costs a mask and
+// a mix per packet, never a re-extraction or a re-hash of the header.
+type Measurer struct {
+	defs    []Definition
+	asm     []*Assembler
+	prefixy []int    // indexes into defs of the prefix definitions
+	drops   []uint64 // prefix low-bit masks, index-aligned with prefixy
+	// Per-definition derived columns, index-aligned with the current block.
+	hash [][]uint64
+	keyA [][]uint64
+	keyB [][]uint64
 }
 
-// newMeasurer builds the assembler for one flow definition.
-func newMeasurer(def Definition, timeout float64) (streamMeasurer, error) {
-	switch def {
-	case By5Tuple:
-		return NewAssembler(netpkt.Header.Key5Tuple, timeout)
-	case ByPrefix24:
-		return NewAssembler(netpkt.Header.KeyPrefix, timeout)
-	case ByPrefix16:
-		return NewAssembler(func(h netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(16) }, timeout)
-	case ByPrefix8:
-		return NewAssembler(func(h netpkt.Header) netpkt.IPv4Addr { return h.DstIP.PrefixN(8) }, timeout)
-	default:
-		return nil, fmt.Errorf("flow: unknown definition %d", int(def))
+// NewMeasurer builds a measurer over the given definitions with the given
+// flow timeout (use DefaultTimeout for the paper's 60 s).
+func NewMeasurer(defs []Definition, timeout float64) (*Measurer, error) {
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("flow: measurer needs at least one definition")
 	}
+	m := &Measurer{
+		defs: append([]Definition(nil), defs...),
+		asm:  make([]*Assembler, len(defs)),
+		hash: make([][]uint64, len(defs)),
+		keyA: make([][]uint64, len(defs)),
+		keyB: make([][]uint64, len(defs)),
+	}
+	for i, def := range m.defs {
+		a, err := NewAssembler(def, timeout)
+		if err != nil {
+			return nil, err
+		}
+		m.asm[i] = a
+		if def != By5Tuple {
+			drop, _ := prefixDrop(def)
+			m.prefixy = append(m.prefixy, i)
+			m.drops = append(m.drops, drop)
+		}
+	}
+	return m, nil
+}
+
+// Reset re-arms every assembler with empty flow state (the paper's interval
+// boundary split), keeping all table, slab and column storage.
+func (m *Measurer) Reset() {
+	for _, a := range m.asm {
+		a.Reset()
+	}
+}
+
+// growCols resizes the derived columns to n elements, reusing storage.
+func growCols(cols [][]uint64, di, n int) {
+	if cap(cols[di]) < n {
+		cols[di] = make([]uint64, n)
+	} else {
+		cols[di] = cols[di][:n]
+	}
+}
+
+// derive fills the per-definition key and hash columns for blk.
+func (m *Measurer) derive(blk *trace.Block) {
+	n := blk.Len()
+	for di := range m.defs {
+		growCols(m.hash, di, n)
+		growCols(m.keyA, di, n)
+		growCols(m.keyB, di, n)
+	}
+	for di, def := range m.defs {
+		if def != By5Tuple {
+			continue
+		}
+		ha, ka, kb := m.hash[di], m.keyA[di], m.keyB[di]
+		for j := 0; j < n; j++ {
+			a := blk.Srcs[j]
+			b := blk.Dsts[j] &^ netpkt.PackedTTLMask
+			ka[j] = a
+			kb[j] = b
+			ha[j] = hashKey(a, b)
+		}
+	}
+	if len(m.prefixy) == 0 {
+		return
+	}
+	// All prefix definitions come off the dst column in one shared pass.
+	for _, di := range m.prefixy {
+		clear(m.keyA[di])
+	}
+	for j := 0; j < n; j++ {
+		ip := blk.Dsts[j] >> netpkt.PackedAddrShift
+		for pi, di := range m.prefixy {
+			kb := ip &^ m.drops[pi]
+			m.keyB[di][j] = kb
+			m.hash[di][j] = hashKey(0, kb)
+		}
+	}
+}
+
+// AddBlock consumes one SoA block: keys for every definition are derived
+// once, then each assembler runs the block through its table. Packets must
+// arrive in non-decreasing time order across Add/AddBlock calls.
+func (m *Measurer) AddBlock(blk *trace.Block) error {
+	m.derive(blk)
+	for di, a := range m.asm {
+		if err := a.AddBlock(blk, m.hash[di], m.keyA[di], m.keyB[di]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add consumes one packet record (the record-at-a-time face).
+func (m *Measurer) Add(rec trace.Record) error {
+	for _, a := range m.asm {
+		if err := a.Add(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush finalises all in-progress flows and returns one Result per
+// definition, index-aligned with the defs the measurer was built with.
+// The measurer can keep consuming packets afterwards (split flows restart
+// from the flush point).
+func (m *Measurer) Flush() []Result {
+	out := make([]Result, len(m.asm))
+	for i, a := range m.asm {
+		out[i] = a.Flush()
+	}
+	return out
 }
 
 // intervalClock is the interval-boundary arithmetic shared by
@@ -110,6 +222,30 @@ func (c *intervalClock) place(t float64) (int, error) {
 // origin returns the start time of the interval currently being fed.
 func (c *intervalClock) origin() float64 { return float64(c.cur) * c.intervalSec }
 
+// placeRun places times[j] and extends the run through every following
+// element of the same interval: it returns the run's interval index and the
+// end index k (times[j:k] all fall in interval idx). Every element is
+// validated through place; the element that breaks the run is re-placed by
+// the caller's next placeRun, which is idempotent for an already-accepted
+// time. This is the one boundary-splitting loop both block faces
+// (IntervalSplitter.AddBlock, IntervalPartitioner.AddBlock) share.
+func (c *intervalClock) placeRun(times []float64, j int) (idx, k int, err error) {
+	idx, err = c.place(times[j])
+	if err != nil {
+		return 0, 0, err
+	}
+	for k = j + 1; k < len(times); k++ {
+		idx2, err := c.place(times[k])
+		if err != nil {
+			return 0, 0, err
+		}
+		if idx2 != idx {
+			break
+		}
+	}
+	return idx, k, nil
+}
+
 // total returns how many intervals the stream must have emitted once it is
 // closed: every interval within the declared duration, or — when no duration
 // was declared — through the interval containing the last packet.
@@ -145,12 +281,12 @@ type IntervalSet struct {
 // intervals — including empty ones between packets, which are data, not gaps
 // — are handed to the emit callback in index order.
 type IntervalSplitter struct {
-	defs    []Definition
-	clock   intervalClock
-	timeout float64
-	emit    func(IntervalSet) error
-
-	asm []streamMeasurer
+	clock intervalClock
+	emit  func(IntervalSet) error
+	meas  *Measurer
+	// rebased is AddBlock's scratch for interval-local times, so the
+	// caller's block is never mutated.
+	rebased []float64
 }
 
 // NewIntervalSplitter builds a splitter over the given definitions. emit is
@@ -160,22 +296,14 @@ func NewIntervalSplitter(defs []Definition, intervalSec, timeout float64, emit f
 	if err != nil {
 		return nil, err
 	}
-	if len(defs) == 0 {
-		return nil, fmt.Errorf("flow: splitter needs at least one definition")
-	}
 	if emit == nil {
 		return nil, fmt.Errorf("flow: splitter needs an emit callback")
 	}
-	s := &IntervalSplitter{
-		defs:    defs,
-		clock:   clock,
-		timeout: timeout,
-		emit:    emit,
-	}
-	if err := s.resetAssemblers(); err != nil {
+	meas, err := NewMeasurer(defs, timeout)
+	if err != nil {
 		return nil, err
 	}
-	return s, nil
+	return &IntervalSplitter{clock: clock, emit: emit, meas: meas}, nil
 }
 
 // SetDuration declares the total trace duration, before the first Add. Close
@@ -186,43 +314,28 @@ func (s *IntervalSplitter) SetDuration(d float64) error {
 	return s.clock.setDuration(d)
 }
 
-// resetAssemblers starts the next interval with empty flow state (the
-// paper's boundary split).
-func (s *IntervalSplitter) resetAssemblers() error {
-	if s.asm == nil {
-		s.asm = make([]streamMeasurer, len(s.defs))
-	}
-	for i, def := range s.defs {
-		a, err := newMeasurer(def, s.timeout)
-		if err != nil {
-			return err
-		}
-		s.asm[i] = a
-	}
-	return nil
-}
-
 // Origin returns the start time of the interval currently being fed: the
 // offset a caller subtracts to rebase a just-Added record into the
 // interval's local time frame (e.g. to rate-bin it in the same pass).
 // Query it after Add, which may have advanced the interval.
 func (s *IntervalSplitter) Origin() float64 { return s.clock.origin() }
 
-// flushCurrent emits the current interval and re-arms the assemblers.
+// flushCurrent emits the current interval and re-arms the measurer: Reset
+// starts the next interval with empty flow state (the paper's boundary
+// split) and rewinds the order validation, since the next interval's
+// rebased times restart at zero.
 func (s *IntervalSplitter) flushCurrent() error {
 	set := IntervalSet{
 		Index:   s.clock.cur,
 		Start:   s.clock.origin(),
-		Results: make([]Result, len(s.asm)),
-	}
-	for i, a := range s.asm {
-		set.Results[i] = a.Flush()
+		Results: s.meas.Flush(),
 	}
 	if err := s.emit(set); err != nil {
 		return err
 	}
 	s.clock.cur++
-	return s.resetAssemblers()
+	s.meas.Reset()
+	return nil
 }
 
 // Add consumes one packet. Packets must arrive in non-decreasing time order
@@ -239,10 +352,44 @@ func (s *IntervalSplitter) Add(rec trace.Record) error {
 		}
 	}
 	rec.Time -= s.clock.origin()
-	for _, a := range s.asm {
-		if err := a.Add(rec); err != nil {
+	return s.meas.Add(rec)
+}
+
+// AddBlock consumes one SoA block, splitting it at interval boundaries:
+// each same-interval run is rebased into scratch (the caller's block is
+// read, never mutated) and measured through the shared key-derivation
+// path. On success, semantics match per-record Add exactly; on a
+// validation error the valid prefix of the failing run is dropped rather
+// than measured (the stream is aborting — its current interval is never
+// emitted either way).
+func (s *IntervalSplitter) AddBlock(blk *trace.Block) error {
+	n := blk.Len()
+	j := 0
+	for j < n {
+		idx, k, err := s.clock.placeRun(blk.Times, j)
+		if err != nil {
 			return err
 		}
+		for s.clock.cur < idx {
+			if err := s.flushCurrent(); err != nil {
+				return err
+			}
+		}
+		sub := blk.Slice(j, k)
+		if origin := s.clock.origin(); origin != 0 {
+			if cap(s.rebased) < k-j {
+				s.rebased = make([]float64, k-j)
+			}
+			s.rebased = s.rebased[:k-j]
+			for i, t := range sub.Times {
+				s.rebased[i] = t - origin
+			}
+			sub.Times = s.rebased
+		}
+		if err := s.meas.AddBlock(&sub); err != nil {
+			return err
+		}
+		j = k
 	}
 	return nil
 }

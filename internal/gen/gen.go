@@ -13,7 +13,6 @@ package gen
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -129,6 +128,13 @@ func FluidSeries(cfg Config, delta float64) (timeseries.Series, error) {
 // paced on the shot's inverse cumulative curve. The shot must be a
 // core.PowerShot (the family §V-D fits); general shots would need numeric
 // inversion. Records are returned in timestamp order.
+//
+// Generation rides the trace package's shared program player: each arrival
+// becomes a compact trace.FlowProgram pulled on demand, and the player
+// emits packets in (time, flow admission) order directly — no trace-length
+// event buffer and no final sort; working memory is O(concurrently active
+// flows). Warm-up flows fast-forward to their first in-window packet in
+// O(1) instead of generating-and-discarding their early packets.
 func Packets(cfg Config, pktBytes int) ([]trace.Record, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -145,43 +151,46 @@ func Packets(cfg Config, pktBytes int) ([]trace.Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gen: %w", err)
 	}
-	est := int(cfg.Lambda * cfg.Duration * 8)
-	recs := make([]trace.Record, 0, est)
 	horizon := cfg.Warmup + cfg.Duration
+	invBp1 := 1 / (ps.B + 1)
 	var flowID uint32
-	for {
-		t := pp.Next()
-		if t >= horizon {
-			break
-		}
-		fs := cfg.Flows[r.Intn(len(cfg.Flows))]
-		start := t - cfg.Warmup
-		if start+fs.D <= 0 {
-			continue
-		}
-		flowID++
-		hdr := synthHeader(flowID)
-		sizeBytes := int(fs.S / 8)
-		if sizeBytes < 40 {
-			sizeBytes = 40
-		}
-		for sent := 0; sent < sizeBytes; {
-			pkt := pktBytes
-			if rem := sizeBytes - sent; rem < pkt {
-				pkt = rem
+	// next draws arrivals lazily in Start order (a plain Poisson process, so
+	// arrival order is Start order — the player feed's one requirement).
+	next := func() (trace.FlowProgram, bool) {
+		for {
+			t := pp.Next()
+			if t >= horizon {
+				return trace.FlowProgram{}, false
 			}
-			off := ps.InverseCumulative(float64(sizeBytes), fs.D, float64(sent))
-			ts := start + off
-			sent += pkt
-			if ts < 0 || ts >= cfg.Duration {
-				continue
+			fs := cfg.Flows[r.Intn(len(cfg.Flows))]
+			if (t-cfg.Warmup)+fs.D <= 0 {
+				continue // entirely inside the warm-up
 			}
-			h := hdr
-			h.TotalLen = uint16(pkt)
-			recs = append(recs, trace.Record{Time: ts, Hdr: h})
+			flowID++
+			sizeBytes := int(fs.S / 8)
+			if sizeBytes < 40 {
+				sizeBytes = 40
+			}
+			return trace.FlowProgram{
+				Index:    flowID,
+				Start:    t,
+				Duration: fs.D,
+				SizeB:    sizeBytes,
+				InvBp1:   invBp1,
+				PktBytes: pktBytes,
+				Hdr:      synthHeader(flowID),
+			}, true
 		}
 	}
-	sortRecords(recs)
+	est := int(cfg.Lambda * cfg.Duration * 8)
+	if est < 0 || est > 1<<22 {
+		est = 1 << 22
+	}
+	recs := make([]trace.Record, 0, est)
+	trace.PlayPrograms(cfg.Warmup, horizon, est, next, func(rec trace.Record) bool {
+		recs = append(recs, rec)
+		return true
+	})
 	return recs, nil
 }
 
@@ -197,9 +206,3 @@ func synthHeader(id uint32) netpkt.Header {
 	}
 }
 
-// sortRecords sorts by time with a stable tie order (flow emission order):
-// packets within a flow are already ordered, so stability keeps the full
-// output deterministic.
-func sortRecords(recs []trace.Record) {
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
-}

@@ -136,6 +136,50 @@ func (h Header) KeyPrefix() PrefixKey {
 	return PrefixKey{DstPrefix: h.DstIP.Prefix24()}
 }
 
+// Packed-column layout: the batch-columnar measurement path carries each
+// packet's header as two 64-bit words instead of a Header struct, so flow
+// keys are mask-and-shift derivations over plain integer columns. The
+// packing is lossless — together with the wire length it round-trips the
+// whole Header — and places the fields so every flow definition is a cheap
+// mask: the 5-tuple is (src, dst &^ PackedTTLMask), a destination /n prefix
+// is high bits of dst >> PackedAddrShift.
+const (
+	// PackedAddrShift positions the IPv4 address in a packed word.
+	PackedAddrShift = 32
+	// PackedPortShift positions the transport port in a packed word.
+	PackedPortShift = 16
+	// PackedTTLMask masks the TTL byte out of a packed dst word (the TTL
+	// rides in the column for lossless round-trips but is not flow-key
+	// material).
+	PackedTTLMask = 0xFF
+)
+
+// Packed returns the header's two packed key columns:
+// src = srcIP<<32 | srcPort<<16 | protocol, dst = dstIP<<32 | dstPort<<16 | TTL.
+func (h Header) Packed() (src, dst uint64) {
+	src = uint64(h.SrcIP.Uint32())<<PackedAddrShift |
+		uint64(h.SrcPort)<<PackedPortShift |
+		uint64(h.Protocol)
+	dst = uint64(h.DstIP.Uint32())<<PackedAddrShift |
+		uint64(h.DstPort)<<PackedPortShift |
+		uint64(h.TTL)
+	return src, dst
+}
+
+// HeaderFromPacked reconstructs the Header a Packed call encoded, given the
+// wire length carried separately in a block's size column.
+func HeaderFromPacked(src, dst uint64, totalLen uint16) Header {
+	return Header{
+		SrcIP:    AddrFromUint32(uint32(src >> PackedAddrShift)),
+		DstIP:    AddrFromUint32(uint32(dst >> PackedAddrShift)),
+		Protocol: uint8(src),
+		SrcPort:  uint16(src >> PackedPortShift),
+		DstPort:  uint16(dst >> PackedPortShift),
+		TotalLen: totalLen,
+		TTL:      uint8(dst),
+	}
+}
+
 // Marshal encodes the header into buf, which must be at least HeaderLen
 // bytes, and returns the number of bytes written (always HeaderLen).
 // The layout is a valid option-less IPv4 header followed by the transport

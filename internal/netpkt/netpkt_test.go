@@ -249,3 +249,44 @@ func BenchmarkMarshal(b *testing.B) {
 		}
 	}
 }
+
+// The packed-column representation must round-trip every header field and
+// place the key material where the flow definitions mask it.
+func TestPackedRoundTrip(t *testing.T) {
+	hdrs := []Header{
+		{
+			SrcIP: IPv4Addr{10, 1, 2, 3}, DstIP: IPv4Addr{192, 168, 7, 9},
+			Protocol: ProtoTCP, SrcPort: 443, DstPort: 51234,
+			TotalLen: 1500, TTL: 64,
+		},
+		{}, // zero header
+		{
+			SrcIP: IPv4Addr{255, 255, 255, 255}, DstIP: IPv4Addr{255, 255, 255, 255},
+			Protocol: 255, SrcPort: 65535, DstPort: 65535,
+			TotalLen: 65535, TTL: 255,
+		},
+		{DstIP: IPv4Addr{172, 16, 5, 200}, Protocol: ProtoUDP, TTL: 1},
+	}
+	for i, h := range hdrs {
+		src, dst := h.Packed()
+		got := HeaderFromPacked(src, dst, h.TotalLen)
+		if got != h {
+			t.Fatalf("header %d: round trip %+v != %+v", i, got, h)
+		}
+		// dst IP occupies the top 32 bits: prefix masking on the packed word
+		// must agree with PrefixN on the address.
+		for _, n := range []int{8, 16, 24} {
+			masked := (dst >> PackedAddrShift) &^ (1<<uint(32-n) - 1)
+			if want := uint64(h.DstIP.PrefixN(n).Uint32()); masked != want {
+				t.Fatalf("header %d: packed /%d prefix %x != PrefixN %x", i, n, masked, want)
+			}
+		}
+		// TTL must be outside the 5-tuple key material.
+		h2 := h
+		h2.TTL ^= 0xA5
+		src2, dst2 := h2.Packed()
+		if src2 != src || dst2&^uint64(PackedTTLMask) != dst&^uint64(PackedTTLMask) {
+			t.Fatalf("header %d: TTL leaked into key bits", i)
+		}
+	}
+}

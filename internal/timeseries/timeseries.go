@@ -83,6 +83,15 @@ func (b *Binner) Add(t, bits float64) {
 // AddRecord accounts one packet record.
 func (b *Binner) AddRecord(rec trace.Record) { b.Add(rec.Time, rec.Bits()) }
 
+// AddBlock accounts every packet of a SoA block in one pass over its time
+// and size columns — the batch face the streaming measurement pipeline
+// bins with.
+func (b *Binner) AddBlock(blk *trace.Block) {
+	for j, t := range blk.Times {
+		b.Add(t, float64(blk.Sizes[j])*8)
+	}
+}
+
 // Reset clears the bins for the next window.
 func (b *Binner) Reset() {
 	clear(b.bits)

@@ -59,22 +59,34 @@ type bqNode struct {
 // flattened into scratch and sorted when the drain reaches it. Events that
 // land in the current bucket mid-drain (a flow's next packet, following the
 // one just popped) binary-insert into the sorted remainder.
+//
+// The grid is adaptive: when the drain reaches a bucket whose chain has
+// grown far past the per-bucket design load (a degenerate config, or an
+// event-count estimate that was badly off), the queue rebuilds the grid
+// over the undrained remainder with cells sized from the hot bucket's
+// density (see refine), so clustered workloads never fall onto the
+// O(chain²) insertion-sort path.
 type bucketQueue struct {
-	lo, invW float64
-	nb       int
-	heads    []int32 // bucket -> arena index of list head + 1; 0 empty
-	nodes    []bqNode
-	free     int32 // freelist head + 1; 0 empty
-	cur      int   // bucket being drained; -1 before the first advance
-	scratch  []pkEvent
-	pos      int // next scratch slot to pop
+	lo, hi, invW float64
+	nb           int
+	heads        []int32 // bucket -> arena index of list head + 1; 0 empty
+	counts       []int32 // bucket -> pending list length
+	nodes        []bqNode
+	free         int32 // freelist head + 1; 0 empty
+	cur          int   // bucket being drained; -1 before the first advance
+	scratch      []pkEvent
+	pos          int       // next scratch slot to pop
+	spill        []pkEvent // refine's gather buffer
+	splits       int       // grid rebuilds performed (observability + tests)
 }
 
 // initQueue prepares the queue over [lo, hi) sized for about estEvents
 // pending emissions (a mis-estimate degrades constant factors, never
-// correctness or order).
+// correctness or order). Storage from a previous use of the queue is
+// reused, so a worker can run many segments through one queue without
+// reallocating its grid or arena.
 func (q *bucketQueue) initQueue(lo, hi float64, estEvents int) {
-	q.lo = lo
+	q.hi = hi
 	nb := estEvents / 4
 	if nb < 16 {
 		nb = 16
@@ -83,19 +95,37 @@ func (q *bucketQueue) initQueue(lo, hi float64, estEvents int) {
 		nb = 1 << 17
 	}
 	w := (hi - lo) / float64(nb)
+	var invW float64
 	if !(w > 0) {
 		// Degenerate span: one bucket swallows everything; the sort still
 		// fixes the order.
 		nb = 1
-		q.invW = 0
+		invW = 0
 	} else {
-		q.invW = 1 / w
+		invW = 1 / w
 	}
-	q.nb = nb
-	q.heads = make([]int32, nb)
-	q.cur = -1
+	q.setGrid(lo, nb, invW)
+	q.nodes = q.nodes[:0]
+	q.free = 0
 	q.scratch = q.scratch[:0]
 	q.pos = 0
+	q.splits = 0
+}
+
+// setGrid installs a bucket grid over [lo, hi) and rewinds the drain to its
+// start, reusing head/count storage when it is large enough.
+func (q *bucketQueue) setGrid(lo float64, nb int, invW float64) {
+	q.lo, q.nb, q.invW = lo, nb, invW
+	if cap(q.heads) >= nb {
+		q.heads = q.heads[:nb]
+		clear(q.heads)
+		q.counts = q.counts[:nb]
+		clear(q.counts)
+	} else {
+		q.heads = make([]int32, nb)
+		q.counts = make([]int32, nb)
+	}
+	q.cur = -1
 }
 
 // bucketOf places a generator-clock time on the bucket grid. The expression
@@ -132,6 +162,76 @@ func (q *bucketQueue) push(ev pkEvent) {
 		q.nodes = append(q.nodes, bqNode{ev: ev, next: q.heads[b]})
 	}
 	q.heads[b] = idx + 1
+	q.counts[b]++
+}
+
+// hotBucketEvents is the chain length past which a bucket counts as hot:
+// well above the ~4 events/bucket the grid is sized for, low enough that
+// the quadratic insertion-sort cost of draining an oversized bucket never
+// gets past a few hundred memmoves before the grid refines.
+const hotBucketEvents = 512
+
+// refine rebuilds the grid over the undrained remainder [bucket b's start,
+// hi) with cells sized from the hot bucket's density — the adaptive resize
+// that keeps degenerate configurations (all events clustered in one bucket,
+// or an estimate-starved grid) off the O(chain²) insertion-sort path. It
+// reports false when the grid cannot be meaningfully refined (degenerate
+// span, or the new width would not at least halve the old), so a cluster of
+// simultaneous events stops triggering rebuilds once width bottoms out.
+// Correctness never depends on it: bucketOf stays monotone on the new grid
+// and every pending event is re-bucketed before the drain resumes, so the
+// (time, index) emission order is unchanged.
+func (q *bucketQueue) refine(b int) bool {
+	if !(q.invW > 0) {
+		return false
+	}
+	w := 1 / q.invW
+	start := q.lo + float64(b)*w
+	span := q.hi - start
+	if !(span > 0) {
+		return false
+	}
+	// Size the new grid from the hot bucket's density, not the average: the
+	// hot bucket's width w should split into ~counts[b]/4 cells, so the new
+	// width is w/(counts[b]/4) and the remaining span needs span/newW
+	// buckets. (For uniformly dense events — a starved estimate rather
+	// than clustering — this reduces to total-pending/4 buckets.) Clamped
+	// in float space before conversion: the product can far exceed int
+	// range.
+	nbF := span / w * float64(q.counts[b]) / 4
+	nb := 1 << 17
+	if nbF < float64(nb) {
+		nb = int(nbF)
+	}
+	if nb < 16 {
+		nb = 16
+	}
+	newW := span / float64(nb)
+	if !(newW > 0) || newW > w/2 {
+		return false
+	}
+	// Gather every pending event (all live in buckets >= b: earlier buckets
+	// are drained, and the exhausted scratch holds nothing), recycling the
+	// list nodes as we go.
+	q.spill = q.spill[:0]
+	for i := b; i < q.nb; i++ {
+		h := q.heads[i]
+		for h != 0 {
+			n := &q.nodes[h-1]
+			q.spill = append(q.spill, n.ev)
+			next := n.next
+			n.next = q.free
+			q.free = h
+			h = next
+		}
+	}
+	q.setGrid(start, nb, 1/newW)
+	q.splits++
+	for i := range q.spill {
+		q.push(q.spill[i])
+	}
+	q.spill = q.spill[:0]
+	return true
 }
 
 // insertSorted places ev into the sorted remainder scratch[pos:]. Every
@@ -161,6 +261,7 @@ func (q *bucketQueue) collect(b int) bool {
 		return false
 	}
 	q.heads[b] = 0
+	q.counts[b] = 0
 	q.scratch = q.scratch[:0]
 	q.pos = 0
 	for h != 0 {
@@ -253,10 +354,15 @@ type player struct {
 }
 
 // initPlayer prepares a player over [lo, hi) of the generator clock.
-// estEvents sizes the bucket grid (see initQueue).
+// estEvents sizes the bucket grid (see initQueue). A player can be
+// re-initialised after draining: arena and queue storage carry over, so a
+// synthesis worker replays many segments with one player and no per-segment
+// allocation.
 func (pl *player) initPlayer(lo, hi float64, estEvents int, feed programFeed) {
 	pl.lo, pl.hi = lo, hi
 	pl.feed = feed
+	pl.progs = pl.progs[:0]
+	pl.free = pl.free[:0]
 	pl.q.initQueue(lo, hi, estEvents)
 }
 
@@ -289,7 +395,10 @@ func (pl *player) admit(p *FlowProgram) {
 
 // advance moves the drain to the next non-empty bucket, admitting each
 // bucket's programs at entry — before any of its events can pop, which is
-// what pins the global emission order. Returns false once every bucket is
+// what pins the global emission order. A bucket found hot at entry (its
+// chain exceeds hotBucketEvents) first refines the grid over the remaining
+// window and rescans, so clustered workloads sort in small buckets instead
+// of insertion-sorting one huge one. Returns false once every bucket is
 // drained (at which point a sourceFeed has consumed its phase-1 pass to the
 // horizon, finalising the flow counters).
 func (pl *player) advance() bool {
@@ -298,6 +407,9 @@ func (pl *player) advance() bool {
 		b := q.cur + 1
 		if pl.feed != nil {
 			pl.feed.admitThrough(b, pl)
+		}
+		if int(q.counts[b]) > hotBucketEvents && q.refine(b) {
+			continue // grid rebuilt over [bucket b's start, hi); rescan
 		}
 		q.cur = b
 		if q.collect(b) {
@@ -357,4 +469,53 @@ func (pl *player) play(emit func(t float64, pkt int, hdr netpkt.Header) bool) {
 // GenerateAll's capacity estimate). No correctness rides on it.
 func estimateEvents(duration, lambda float64) int {
 	return capacityEstimate(duration * lambda * 8)
+}
+
+// pullFeed adapts a pull callback supplying Start-ordered flow programs to
+// the player's bucket-by-bucket admission: because the supply is ordered, a
+// bucket is complete the moment the next pending program starts past it —
+// the same seal invariant the trace generator's arrival clock provides.
+type pullFeed struct {
+	next    func() (FlowProgram, bool)
+	pending FlowProgram
+	have    bool
+	done    bool
+}
+
+func (f *pullFeed) admitThrough(b int, pl *player) {
+	for !f.done {
+		if !f.have {
+			p, ok := f.next()
+			if !ok {
+				f.done = true
+				return
+			}
+			f.pending, f.have = p, true
+		}
+		if pl.q.bucketOf(f.pending.Start) > b {
+			return
+		}
+		pl.admit(&f.pending)
+		f.have = false
+	}
+}
+
+// PlayPrograms replays a lazily-supplied sequence of flow programs over
+// [lo, hi) of their clock, emitting packets in the canonical (time, flow
+// admission index) order with times rebased to lo. next must return
+// programs in non-decreasing Start order with distinct Index values, and is
+// consumed on demand — memory stays O(concurrently active flows) however
+// many programs the sequence holds. estEvents sizes the bucket grid (a
+// mis-estimate costs constants, never correctness: the grid refines itself
+// on hot buckets). emit returning false stops the replay. This is the face
+// external packet generators (e.g. the §VII-C model-driven generator in
+// gen) ride so they share the trace pipeline's player instead of
+// materialising and sorting.
+func PlayPrograms(lo, hi float64, estEvents int, next func() (FlowProgram, bool), emit func(Record) bool) {
+	var pl player
+	pl.initPlayer(lo, hi, estEvents, &pullFeed{next: next})
+	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
+		hdr.TotalLen = uint16(pkt)
+		return emit(Record{Time: t - lo, Hdr: hdr})
+	})
 }

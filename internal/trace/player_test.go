@@ -163,3 +163,52 @@ func TestPlayerEarlyStop(t *testing.T) {
 	rest := collectPlayer(&pl)
 	comparePlayer(t, "resume", rest, want[len(got):])
 }
+
+// A degenerate load — thousands of events clustered into a sliver of a long
+// window, on a grid sized for a handful per bucket — must trigger the hot
+// bucket refine (adaptive grid rebuild) and still emit the exact
+// brute-force order. Without the refine this shape degrades to quadratic
+// insertion-sorting of one giant bucket.
+func TestPlayerRefinesHotBuckets(t *testing.T) {
+	r := rng.New(17)
+	var progs []FlowProgram
+	for i := 0; i < 2000; i++ {
+		// All flows start inside [0, 0.4) of a 4000 s window: with the
+		// default grid every first-packet event lands in bucket 0.
+		progs = append(progs, FlowProgram{
+			Index:    uint32(i + 1),
+			Start:    r.Float64() * 0.4,
+			Duration: 0.01 + r.Float64()*2,
+			SizeB:    40 + r.Intn(9000),
+			InvBp1:   1 / (1 + r.Float64()),
+			PktBytes: 1500,
+			Hdr:      netpkt.Header{SrcPort: uint16(i + 1)},
+		})
+	}
+	want := bruteForce(progs, 0, 4000)
+	var pl player
+	pl.initPlayer(0, 4000, len(progs)*2, nil)
+	for i := range progs {
+		pl.admit(&progs[i])
+	}
+	comparePlayer(t, "hot-bucket", collectPlayer(&pl), want)
+	if pl.q.splits == 0 {
+		t.Fatal("clustered load drained without a grid refine")
+	}
+}
+
+// A player must be reusable across windows (the synthesis workers run many
+// segments through one player): a second initPlayer after a full drain
+// replays exactly, storage reuse notwithstanding.
+func TestPlayerReuseAcrossWindows(t *testing.T) {
+	progs := adversarialPrograms(19, 200)
+	var pl player
+	for _, w := range []struct{ lo, hi float64 }{{0, 50}, {5, 9}, {0, 50}} {
+		want := bruteForce(progs, w.lo, w.hi)
+		pl.initPlayer(w.lo, w.hi, len(want), nil)
+		for i := range progs {
+			pl.admit(&progs[i])
+		}
+		comparePlayer(t, "reuse", collectPlayer(&pl), want)
+	}
+}

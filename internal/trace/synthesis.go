@@ -14,117 +14,159 @@ import (
 // the arrival clock proves no later program can reach it. Workers replay a
 // per-segment player (jumping each flow straight to its first in-segment
 // packet in O(1) via the shot inverse), and a merger forwards the segments'
-// bounded batch streams in timeline order. Packets of different flows are
+// bounded block streams in timeline order. Packets of different flows are
 // ordered by (time, flow admission index), which matches the serial
 // generator's emission order, so the merged stream is bit-identical to
 // Stream's at any worker count.
+//
+// Packets leave synthesis packed into struct-of-arrays Blocks (times, wire
+// lengths, packed header words in parallel columns): the measurement
+// pipeline consumes the columns directly, and the record-at-a-time faces
+// reconstruct Records losslessly from them.
 
-// RecordBatchSize is how many records travel per channel operation between
-// pipeline stages (segment workers to the merger here; the measurement
-// partitioner to interval consumers downstream): large enough to amortise
-// channel synchronisation to noise per record, small enough that a batch is
-// a fraction of any analysis interval.
-const RecordBatchSize = 512
-
-// batchPool recycles record batches once their consumer has forwarded the
-// records, bounding a pipeline's batch allocations to the in-flight window
-// instead of the stream length. Stored as *[]Record so Put never boxes a
-// fresh slice header. Shared by every batched record stream in the
-// pipeline via GetRecordBatch/PutRecordBatch.
-var batchPool = sync.Pool{}
-
-// GetRecordBatch returns an empty batch with RecordBatchSize capacity,
-// recycled when possible.
-func GetRecordBatch() []Record {
-	if p, _ := batchPool.Get().(*[]Record); p != nil {
-		return (*p)[:0]
-	}
-	return make([]Record, 0, RecordBatchSize)
-}
-
-// PutRecordBatch returns a drained batch to the pool once no consumer can
-// touch its records again. Safe for any slice: only usefully-sized ones
-// are kept.
-func PutRecordBatch(b []Record) {
-	if cap(b) < RecordBatchSize {
-		return
-	}
-	batchPool.Put(&b)
-}
-
-// synthBatch aliases the shared batch size for the segment channel sizing
-// below.
-const synthBatch = RecordBatchSize
-
-// synthSegmentBatches bounds each in-flight segment's buffered batches, so a
+// synthSegmentBlocks bounds each in-flight segment's buffered blocks, so a
 // fast worker back-pressures on the merger instead of materialising its
 // segment.
-const synthSegmentBatches = 8
+const synthSegmentBlocks = 8
 
 // minSegmentSec keeps segments from becoming so short that per-segment
 // setup (program routing, queue rebuild) dominates the packet work.
 const minSegmentSec = 1.0
+
+// progSlicePool recycles the per-segment program lists between segments (a
+// long trace runs thousands of segments; their routing lists would
+// otherwise be the dominant allocation of a sharded generation pass).
+var progSlicePool = sync.Pool{}
+
+func getProgSlice() []FlowProgram {
+	if p, _ := progSlicePool.Get().(*[]FlowProgram); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putProgSlice(s []FlowProgram) {
+	if cap(s) == 0 {
+		return
+	}
+	progSlicePool.Put(&s)
+}
 
 // segment is one timeline shard of a synthesis pass. Bounds are on the
 // generator clock and cover [loAbs, hiAbs) of emitted time.
 type segment struct {
 	loAbs, hiAbs float64
 	progs        []FlowProgram
-	batches      chan []Record
+	blocks       chan *Block
 	dispatched   bool // sent to the worker pool (vs closed unsynthesised on abort)
 }
 
 // synthesize replays the segment's overlapping flow programs through the
 // program player and sends the packets with emission time in [loAbs, hiAbs)
-// to the segment's batch channel, which it closes when done. The skip flag
-// short-circuits the work (the channel is still closed) once an abort means
-// nobody will read the records.
-func (sg *segment) synthesize(warmup float64, skip *atomic.Bool) {
-	defer close(sg.batches)
+// to the segment's block channel, which it closes when done. pl is the
+// calling worker's reusable player (queue and arena storage persist across
+// the segments a worker runs). The skip flag short-circuits the work (the
+// channel is still closed) once an abort means nobody will read the
+// packets. The segment's program list returns to the shared pool either
+// way.
+func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool) {
+	defer close(sg.blocks)
+	defer func() {
+		putProgSlice(sg.progs)
+		sg.progs = nil
+	}()
 	if skip.Load() {
 		return
 	}
 	// Eager admission: the queue's (time, index) ordering does not depend
 	// on admission order, and the events it holds are of the same order as
 	// the segment's program list itself.
-	var pl player
 	pl.initPlayer(sg.loAbs, sg.hiAbs, len(sg.progs)*8, nil)
 	for i := range sg.progs {
 		pl.admit(&sg.progs[i])
 	}
-	batch := GetRecordBatch()
+	blk := GetBlock()
 	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
-		hdr.TotalLen = uint16(pkt)
-		batch = append(batch, Record{Time: t - warmup, Hdr: hdr})
-		if len(batch) == synthBatch {
-			sg.batches <- batch
-			batch = GetRecordBatch()
+		src, dst := hdr.Packed()
+		blk.Append(t-warmup, uint16(pkt), src, dst)
+		if blk.Len() == BlockSize {
+			sg.blocks <- blk
+			blk = GetBlock()
 			return !skip.Load()
 		}
 		return true
 	})
-	if len(batch) > 0 {
-		sg.batches <- batch
+	if blk.Len() > 0 {
+		sg.blocks <- blk
+	} else {
+		PutBlock(blk)
 	}
 }
 
-// StreamParallel generates cfg's trace like Stream — fn sees every packet in
-// time order, from one goroutine, and the result is bit-identical to
+// StreamBlocks generates cfg's trace with the serial generator, handing the
+// packets to fn in time order packed into blocks of up to BlockSize records
+// — the batch-columnar face of Stream. The block passed to fn is reused
+// after fn returns, so fn must copy out anything it keeps. On fn error the
+// stream aborts like Stream's.
+func StreamBlocks(cfg Config, fn func(*Block) error) (Summary, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return Summary{}, err
+	}
+	blk := GetBlock()
+	defer PutBlock(blk)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		blk.AppendRecord(r)
+		if blk.Len() == BlockSize {
+			if err := fn(blk); err != nil {
+				return g.Stats(), err
+			}
+			blk.Reset()
+		}
+	}
+	if blk.Len() > 0 {
+		if err := fn(blk); err != nil {
+			return g.Stats(), err
+		}
+	}
+	return g.Stats(), nil
+}
+
+// StreamParallelBlocks generates cfg's trace like StreamBlocks — fn sees
+// every packet in time order, from one goroutine, in SoA blocks that are
+// recycled after fn returns, and the packet stream is bit-identical to
 // Stream's — but synthesises the packets with a pool of workers over
 // timeline shards. Phase 1 (the serial RNG pass over the arrival process)
 // runs concurrently with synthesis and costs a few draws per flow, so the
-// speedup approaches the worker count on generation-bound traces. workers <=
-// 1 falls back to the serial generator. Memory stays bounded: segments hand
-// off through an in-flight cap and per-segment bounded buffers, so a slow fn
-// back-pressures generation just like the serial path.
+// speedup approaches the worker count on generation-bound traces. workers
+// <= 1 falls back to the serial generator. Memory stays bounded: segments
+// hand off through an in-flight cap and per-segment bounded buffers, so a
+// slow fn back-pressures generation just like the serial path.
 //
 // On fn error the stream aborts and returns the error with a running summary
 // snapshot, like Stream; generation already in flight is drained, not
 // delivered.
-func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, error) {
+func StreamParallelBlocks(cfg Config, workers int, fn func(*Block) error) (Summary, error) {
 	if workers <= 1 {
-		return Stream(cfg, fn)
+		return StreamBlocks(cfg, fn)
 	}
+	return streamParallelCore(cfg, workers, func(blk *Block) (int, error) {
+		// The whole block was delivered to fn even when fn errors, so it
+		// counts — matching the serial StreamBlocks fallback, whose
+		// generator stats include every packet of the failing block.
+		return blk.Len(), fn(blk)
+	})
+}
+
+// streamParallelCore is the sharded synthesis engine. fn reports how many
+// of the block's packets it consumed before failing (all of them on
+// success), so the summary snapshot returned with an error counts exactly
+// the packets delivered.
+func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (Summary, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return Summary{}, err
@@ -147,14 +189,14 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 		nSegs = 1
 	}
 	horizon := c.Warmup + c.Duration
-	segs := make([]*segment, nSegs)
+	segs := make([]segment, nSegs)
 	for j := range segs {
 		lo := c.Warmup + float64(j)*segSec
 		hi := c.Warmup + float64(j+1)*segSec
 		if j == nSegs-1 {
 			hi = horizon
 		}
-		segs[j] = &segment{loAbs: lo, hiAbs: hi, batches: make(chan []Record, synthSegmentBatches)}
+		segs[j] = segment{loAbs: lo, hiAbs: hi, blocks: make(chan *Block, synthSegmentBlocks)}
 	}
 	// segIndex places a generator-clock time on the shard grid (clamped:
 	// warm-up flows land in segment 0, which starts synthesis at Warmup).
@@ -189,7 +231,7 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 				if aborted.Load() {
 					return false
 				}
-				sg := segs[next]
+				sg := &segs[next]
 				sg.dispatched = true
 				inflight <- struct{}{}
 				tasks <- sg
@@ -214,6 +256,9 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 			}
 			for j := jF; j <= jL; j++ {
 				if j >= next { // sealed segments are already complete
+					if segs[j].progs == nil {
+						segs[j].progs = getProgSlice()
+					}
 					segs[j].progs = append(segs[j].progs, p)
 				}
 			}
@@ -237,7 +282,7 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 		// On abort, close what was never dispatched so the merger's drain
 		// loop terminates.
 		for ; next < nSegs; next++ {
-			close(segs[next].batches)
+			close(segs[next].blocks)
 		}
 		close(tasks)
 	}()
@@ -247,30 +292,32 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 		workerWG.Add(1)
 		go func() {
 			defer workerWG.Done()
+			var pl player // reused across this worker's segments
 			for sg := range tasks {
-				sg.synthesize(c.Warmup, &aborted)
+				sg.synthesize(&pl, c.Warmup, &aborted)
 			}
 		}()
 	}
 
-	// Merge: forward each segment's batches in timeline order. Every
+	// Merge: forward each segment's blocks in timeline order. Every
 	// channel is drained even after an error so no worker stays blocked.
 	var sum Summary
 	var firstErr error
-	for _, sg := range segs {
-		for batch := range sg.batches {
+	for j := range segs {
+		sg := &segs[j]
+		for blk := range sg.blocks {
 			if firstErr == nil {
-				for _, rec := range batch {
-					sum.Packets++
-					sum.Bytes += int64(rec.Hdr.TotalLen)
-					if err := fn(rec); err != nil {
-						firstErr = err
-						aborted.Store(true)
-						break
-					}
+				n, err := fn(blk)
+				sum.Packets += int64(n)
+				for _, s := range blk.Sizes[:n] {
+					sum.Bytes += int64(s)
+				}
+				if err != nil {
+					firstErr = err
+					aborted.Store(true)
 				}
 			}
-			PutRecordBatch(batch)
+			PutBlock(blk)
 		}
 		if sg.dispatched {
 			<-inflight
@@ -289,4 +336,23 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 		sum.FlowRate = float64(sum.Flows) / c.Duration
 	}
 	return sum, nil
+}
+
+// StreamParallel is the record-at-a-time face of the sharded synthesis: fn
+// sees every packet in time order as a Record reconstructed from the block
+// columns, bit-identical to Stream's at any worker count. On fn error the
+// summary snapshot counts the records delivered up to and including the
+// failing one, like Stream's.
+func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, error) {
+	if workers <= 1 {
+		return Stream(cfg, fn)
+	}
+	return streamParallelCore(cfg, workers, func(blk *Block) (int, error) {
+		for i := 0; i < blk.Len(); i++ {
+			if err := fn(blk.Record(i)); err != nil {
+				return i + 1, err
+			}
+		}
+		return blk.Len(), nil
+	})
 }
