@@ -641,6 +641,104 @@ func BenchmarkModelAveragedVariance(b *testing.B) {
 	}
 }
 
+// benchModelInput measures the benchmark trace's 5-tuple flows once and
+// returns the model input the batched-kernel benchmarks share.
+func benchModelInput(b *testing.B) core.Input {
+	b.Helper()
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := core.InputFromFlows(res.Flows, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkAveragedVarianceBatch is the Δ-sweep face: seven averaging
+// intervals against one population pass (AblationDelta's workload).
+func BenchmarkAveragedVarianceBatch(b *testing.B) {
+	in := benchModelInput(b)
+	m, err := in.Model(core.Triangular)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltas := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 2, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AveragedVarianceBatch(deltas); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(deltas)), "deltas/op")
+}
+
+// BenchmarkLSTBatch is the transform-sweep face: eight θ points against one
+// population pass (the dimensioning searches probe the transform like this).
+func BenchmarkLSTBatch(b *testing.B) {
+	in := benchModelInput(b)
+	m, err := in.Model(core.Parabolic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu := m.Mean()
+	thetas := make([]float64, 8)
+	for i := range thetas {
+		thetas[i] = float64(i+1) / (4 * mu)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.LSTBatch(thetas); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(thetas)), "thetas/op")
+}
+
+// BenchmarkModelSuite mirrors the per-interval model work of the Table I
+// measurement pass: columnar input assembly into a pooled population, the
+// three shot-shape eq.(7) kernels, and the §V-D exponent fit.
+func BenchmarkModelSuite(b *testing.B) {
+	recs, _, err := trace.GenerateAll(benchTraceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := flow.Measure(recs, flow.By5Tuple, flow.DefaultTimeout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var kernels [3]*core.AvgVarKernel
+	for bb := range kernels {
+		k, err := core.NewAvgVarKernel(bb, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels[bb] = k
+	}
+	pop := &core.FlowPop{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := core.InputFromFlowsPop(pop, res.Flows, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range kernels {
+			if _, err := k.AveragedVariance(in.Lambda, pop); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := core.FitPowerB(in.Lambda*in.MeanS2OverD, in.Lambda, in.MeanS2OverD); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pop.Len()), "flows/op")
+}
+
 func BenchmarkMGInfSimulation(b *testing.B) {
 	e, err := dist.NewExponential(1)
 	if err != nil {

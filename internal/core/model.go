@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/stats"
@@ -22,7 +23,21 @@ type FlowSample struct {
 type Model struct {
 	Lambda float64
 	Shot   Shot
-	Flows  []FlowSample
+	// Flows is the sample population in row (AoS) form, kept for callers
+	// that sample flows (the traffic generator). Models built on the pooled
+	// columnar path carry a nil Flows and only the pop columns.
+	Flows []FlowSample
+
+	// pop is the columnar view of the population that every kernel and
+	// population loop evaluates over. NewModel derives it from Flows;
+	// Input.Model can share one pooled FlowPop across shot shapes.
+	pop *FlowPop
+
+	// avKernel caches the last eq.(7) kernel the scalar AveragedVariance
+	// face built, so repeated calls at one Δ (callers that probe the model
+	// point-wise) pay the coefficient build once. Kernels are immutable and
+	// (b, Δ)-keyed, so WithLambda copies share the cache pointer safely.
+	avKernel *atomic.Pointer[AvgVarKernel]
 
 	meanS    float64 // E[S] bits
 	meanS2oD float64 // E[S²/D]
@@ -40,22 +55,67 @@ func NewModel(lambda float64, shot Shot, flows []FlowSample) (*Model, error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("core: empty flow population")
 	}
-	var sumS, sumS2oD float64
 	for i, f := range flows {
 		if !(f.S > 0) || !(f.D > 0) {
 			return nil, fmt.Errorf("core: flow %d has non-positive size or duration (%g, %g)", i, f.S, f.D)
 		}
-		sumS += f.S
-		sumS2oD += f.S * f.S / f.D
 	}
-	n := float64(len(flows))
+	pop := newFlowPop(flows)
 	return &Model{
 		Lambda:   lambda,
 		Shot:     shot,
 		Flows:    flows,
-		meanS:    sumS / n,
-		meanS2oD: sumS2oD / n,
+		pop:      pop,
+		avKernel: new(atomic.Pointer[AvgVarKernel]),
+		meanS:    pop.MeanS(),
+		meanS2oD: pop.MeanS2OverD(),
 	}, nil
+}
+
+// newModelFromPop builds a model over a pre-built columnar population with
+// its moments already computed (the pooled experiment path); Flows stays
+// nil.
+func newModelFromPop(lambda float64, shot Shot, pop *FlowPop, meanS, meanS2oD float64) (*Model, error) {
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("core: lambda must be > 0, got %g", lambda)
+	}
+	if shot == nil {
+		return nil, fmt.Errorf("core: nil shot")
+	}
+	if pop.Len() == 0 {
+		return nil, fmt.Errorf("core: empty flow population")
+	}
+	return &Model{
+		Lambda:   lambda,
+		Shot:     shot,
+		pop:      pop,
+		avKernel: new(atomic.Pointer[AvgVarKernel]),
+		meanS:    meanS,
+		meanS2oD: meanS2oD,
+	}, nil
+}
+
+// WithLambda returns a model identical to m but with a different arrival
+// rate, sharing the flow population, its columns and the precomputed
+// moments — the λ-sweeps of §VII-A scale load without re-validating and
+// re-summing the population per point.
+func (m *Model) WithLambda(lambda float64) (*Model, error) {
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("core: lambda must be > 0, got %g", lambda)
+	}
+	c := *m
+	c.Lambda = lambda
+	return &c, nil
+}
+
+// population returns the columnar population, deriving it on the fly for
+// hand-assembled models that bypassed NewModel (tests); such a derived view
+// is not cached, so hand-built models pay the build per call.
+func (m *Model) population() *FlowPop {
+	if m.pop != nil || len(m.Flows) == 0 {
+		return m.pop
+	}
+	return newFlowPop(m.Flows)
 }
 
 // Input bundles the three measurable parameters the paper's §V-G identifies
@@ -66,42 +126,48 @@ type Input struct {
 	MeanS       float64 // E[S] in bits
 	MeanS2OverD float64 // E[S²/D] in bits²/s
 	Samples     []FlowSample
+	// Pop is the columnar view of Samples. When set, Model() shares it
+	// across the shot shapes instead of rebuilding per-model columns; the
+	// pooled InputFromFlowsPop path sets Pop alone (Samples nil).
+	Pop *FlowPop
 }
 
 // InputFromFlows derives model inputs from measured flows over an interval
 // of the given length (seconds). Flows with zero duration are skipped (the
 // measurement pipeline has already discarded single-packet flows, but a
-// defensive filter keeps the estimator total).
+// defensive filter keeps the estimator total). The returned Input carries
+// both the row-form Samples and the columnar Pop, so the shot shapes built
+// from it share one population.
 func InputFromFlows(flows []flow.Flow, intervalSec float64) (Input, error) {
-	if !(intervalSec > 0) {
-		return Input{}, fmt.Errorf("core: interval must be > 0, got %g", intervalSec)
+	pop := &FlowPop{
+		S:    make([]float64, 0, len(flows)),
+		D:    make([]float64, 0, len(flows)),
+		S2:   make([]float64, 0, len(flows)),
+		InvD: make([]float64, 0, len(flows)),
 	}
-	samples := make([]FlowSample, 0, len(flows))
-	var sumS, sumS2oD float64
-	for _, f := range flows {
-		d := f.Duration()
-		if !(d > 0) {
-			continue
-		}
-		s := f.SizeBits()
-		samples = append(samples, FlowSample{S: s, D: d})
-		sumS += s
-		sumS2oD += s * s / d
+	in, err := InputFromFlowsPop(pop, flows, intervalSec)
+	if err != nil {
+		return Input{}, err
 	}
-	if len(samples) == 0 {
-		return Input{}, fmt.Errorf("core: no usable flows in interval")
+	samples := make([]FlowSample, pop.Len())
+	for i := range samples {
+		samples[i] = FlowSample{S: pop.S[i], D: pop.D[i]}
 	}
-	n := float64(len(samples))
-	return Input{
-		Lambda:      n / intervalSec,
-		MeanS:       sumS / n,
-		MeanS2OverD: sumS2oD / n,
-		Samples:     samples,
-	}, nil
+	in.Samples = samples
+	return in, nil
 }
 
-// Model builds a model from the input with the given shot shape.
+// Model builds a model from the input with the given shot shape, sharing
+// the columnar population when the input carries one.
 func (in Input) Model(shot Shot) (*Model, error) {
+	if in.Pop != nil {
+		m, err := newModelFromPop(in.Lambda, shot, in.Pop, in.MeanS, in.MeanS2OverD)
+		if err != nil {
+			return nil, err
+		}
+		m.Flows = in.Samples // nil on the pooled path
+		return m, nil
+	}
 	return NewModel(in.Lambda, shot, in.Samples)
 }
 
@@ -115,13 +181,20 @@ func (m *Model) MeanS2OverD() float64 { return m.meanS2oD }
 // the shot shape and of the duration distribution.
 func (m *Model) Mean() float64 { return m.Lambda * m.meanS }
 
-// Variance returns Var(R) = λ·E[∫₀^D X²(u) du] (Corollary 2).
+// Variance returns Var(R) = λ·E[∫₀^D X²(u) du] (Corollary 2). An empty
+// population has zero variance (NewModel rejects one; only hand-built
+// models reach this).
 func (m *Model) Variance() float64 {
-	var sum float64
-	for _, f := range m.Flows {
-		sum += m.Shot.IntegralX2(f.S, f.D)
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
+		return 0
 	}
-	return m.Lambda * sum / float64(len(m.Flows))
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Shot.IntegralX2(pop.S[i], pop.D[i])
+	}
+	return m.Lambda * sum / float64(n)
 }
 
 // StdDev returns the standard deviation of the total rate.
@@ -145,11 +218,16 @@ func (m *Model) VarianceLowerBound() float64 { return m.Lambda * m.meanS2oD }
 // AutoCovariance returns γ(τ) = λ·E[∫₀^{(D-|τ|)+} X(u)X(u+|τ|) du]
 // (Theorem 2). γ(0) equals Variance().
 func (m *Model) AutoCovariance(tau float64) float64 {
-	var sum float64
-	for _, f := range m.Flows {
-		sum += m.Shot.CrossCov(f.S, f.D, tau)
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
+		return 0
 	}
-	return m.Lambda * sum / float64(len(m.Flows))
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Shot.CrossCov(pop.S[i], pop.D[i], tau)
+	}
+	return m.Lambda * sum / float64(n)
 }
 
 // AutoCorrelation returns γ(τ)/γ(0), the curve of the paper's Figure 8.
@@ -171,17 +249,37 @@ func (m *Model) AveragedVariance(delta float64) (float64, error) {
 	if !(delta > 0) {
 		return 0, fmt.Errorf("core: averaging interval must be > 0, got %g", delta)
 	}
+	pop := m.population()
+	// Guard before the division below: a hand-built Model carries an empty
+	// population (NewModel rejects one) and would otherwise return NaN.
+	if pop.Len() == 0 {
+		return 0, fmt.Errorf("core: averaged variance needs a non-empty flow population")
+	}
 	// Integer-b power shots (the paper's b = 0, 1, 2 and every fitted
-	// integer exponent) integrate per flow in closed form: one pass over
-	// the flow population, against one pass per quadrature point below.
-	// This is the hottest loop of the experiment suite — every interval
-	// evaluates it for three shot shapes.
+	// integer exponent) evaluate through the (b, Δ) coefficient cache: one
+	// branch-partitioned Horner pass over the population, against one pass
+	// per quadrature point below. This is the hottest loop of the
+	// experiment suite — every interval evaluates it for three shot shapes.
+	// The scalar closed form avgVarCrossInt stays as the test oracle.
 	if ps, ok := m.Shot.(PowerShot); ok && ps.closedFormB() {
-		var sum float64
-		for _, f := range m.Flows {
-			sum += ps.avgVarCrossInt(f.S, f.D, delta)
+		b := int(ps.B)
+		var k *AvgVarKernel
+		if m.avKernel != nil {
+			if c := m.avKernel.Load(); c != nil && c.b == b && c.delta == delta {
+				k = c
+			}
 		}
-		return 2 / delta * m.Lambda * sum / float64(len(m.Flows)), nil
+		if k == nil {
+			var err error
+			k, err = NewAvgVarKernel(b, delta)
+			if err != nil {
+				return 0, err
+			}
+			if m.avKernel != nil {
+				m.avKernel.Store(k)
+			}
+		}
+		return k.AveragedVariance(m.Lambda, pop)
 	}
 	f := func(tau float64) float64 {
 		return (1 - tau/delta) * m.AutoCovariance(tau)
@@ -190,6 +288,48 @@ func (m *Model) AveragedVariance(delta float64) (float64, error) {
 	// because γ varies on the scale of flow durations, which the paper's
 	// operating point (Δ = 200 ms ≪ E[D]) keeps much longer than Δ.
 	return 2 / delta * simpson(f, 0, delta, 64), nil
+}
+
+// AveragedVarianceBatch evaluates eq.(7) at many averaging intervals with
+// one pass over the flow population (closed-form shots; other shots fall
+// back to per-Δ quadrature). Results are bit-identical to calling
+// AveragedVariance per Δ — the batch changes the memory traffic, not the
+// arithmetic.
+func (m *Model) AveragedVarianceBatch(deltas []float64) ([]float64, error) {
+	out := make([]float64, len(deltas))
+	if len(deltas) == 0 {
+		return out, nil
+	}
+	pop := m.population()
+	if pop.Len() == 0 {
+		return nil, fmt.Errorf("core: averaged variance needs a non-empty flow population")
+	}
+	ps, ok := m.Shot.(PowerShot)
+	if !ok || !ps.closedFormB() {
+		for i, delta := range deltas {
+			v, err := m.AveragedVariance(delta)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	ks := make([]*AvgVarKernel, len(deltas))
+	for i, delta := range deltas {
+		k, err := NewAvgVarKernel(int(ps.B), delta)
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = k
+	}
+	sums := make([]float64, len(ks))
+	avgVarSumMulti(ks, pop, sums)
+	n := float64(pop.Len())
+	for i, k := range ks {
+		out[i] = 2 / k.delta * m.Lambda * sums[i] / n
+	}
+	return out, nil
 }
 
 // LST returns the Laplace-Stieltjes transform E[e^{-θR}] of the stationary
@@ -209,28 +349,81 @@ func (m *Model) LST(theta float64) (float64, error) {
 	// A hand-built Model can carry an empty population (NewModel rejects it);
 	// without the guard the mean below divides by zero and returns NaN
 	// instead of an error.
-	if len(m.Flows) == 0 {
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
 		return 0, fmt.Errorf("core: LST needs a non-empty flow population")
 	}
 	var sum float64
 	// Integer-b power shots reduce the inner integral to an incomplete
-	// gamma in closed form — one special-function evaluation per flow
-	// instead of 128 quadrature points (the same treatment that removed
-	// the quadrature from AveragedVariance). Other shots keep Simpson.
+	// gamma in closed form, with the θ-only constants hoisted into a kernel
+	// — gammaLower1mExp is the only per-flow transcendental (the same
+	// treatment that removed the quadrature from AveragedVariance). Other
+	// shots keep Simpson. The scalar lstIntegral stays as the test oracle.
 	if ps, ok := m.Shot.(PowerShot); ok && ps.closedFormB() {
-		for _, f := range m.Flows {
-			sum += ps.lstIntegral(f.S, f.D, theta)
+		k := newLSTKernel(int(ps.B), theta)
+		for i := 0; i < n; i++ {
+			sum += k.oneMinusExp(pop.S[i], pop.D[i], pop.InvD[i])
 		}
-		return math.Exp(-m.Lambda * sum / float64(len(m.Flows))), nil
+		return math.Exp(-m.Lambda * sum / float64(n)), nil
 	}
-	for _, f := range m.Flows {
-		s, d := f.S, f.D
+	for i := 0; i < n; i++ {
+		s, d := pop.S[i], pop.D[i]
 		g := func(u float64) float64 {
 			return 1 - math.Exp(-theta*m.Shot.Rate(s, d, u))
 		}
 		sum += simpson(g, 0, d, 128)
 	}
-	return math.Exp(-m.Lambda * sum / float64(len(m.Flows))), nil
+	return math.Exp(-m.Lambda * sum / float64(n)), nil
+}
+
+// LSTBatch evaluates the LST at many θ with one pass over the flow
+// population (closed-form shots; other shots fall back to per-θ
+// quadrature). Results are bit-identical to calling LST per θ. The
+// dimensioning searches that probe many transform points ride this face.
+func (m *Model) LSTBatch(thetas []float64) ([]float64, error) {
+	out := make([]float64, len(thetas))
+	if len(thetas) == 0 {
+		return out, nil
+	}
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: LST needs a non-empty flow population")
+	}
+	ps, ok := m.Shot.(PowerShot)
+	if !ok || !ps.closedFormB() {
+		for i, theta := range thetas {
+			v, err := m.LST(theta)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	ks := make([]lstKernel, len(thetas))
+	for i, theta := range thetas {
+		if theta < 0 {
+			return nil, fmt.Errorf("core: LST requires theta >= 0, got %g", theta)
+		}
+		ks[i] = newLSTKernel(int(ps.B), theta)
+	}
+	sums := make([]float64, len(thetas))
+	for i := 0; i < n; i++ {
+		s, d, u := pop.S[i], pop.D[i], pop.InvD[i]
+		for kj := range ks {
+			sums[kj] += ks[kj].oneMinusExp(s, d, u)
+		}
+	}
+	for i, theta := range thetas {
+		if theta == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = math.Exp(-m.Lambda * sums[i] / float64(n))
+	}
+	return out, nil
 }
 
 // Cumulant returns the k-th cumulant of R(t), κ_k = λ·E[∫₀^D X(u)^k du]
@@ -241,28 +434,33 @@ func (m *Model) Cumulant(k int) (float64, error) {
 	if k < 1 {
 		return 0, fmt.Errorf("core: cumulant order must be >= 1, got %d", k)
 	}
-	if len(m.Flows) == 0 {
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
 		return 0, fmt.Errorf("core: cumulant needs a non-empty flow population")
 	}
 	var sum float64
 	if ps, ok := m.Shot.(PowerShot); ok {
-		for _, f := range m.Flows {
-			v, err := ps.IntegralXK(f.S, f.D, k)
-			if err != nil {
-				return 0, err
-			}
-			sum += v
+		// ∫X^k = s^k·(b+1)^k / (d^{k-1}·(kb+1)): the (b+1)^k/(kb+1) factor
+		// is flow-independent, and the flow powers are small-integer, so the
+		// loop is pure powi — no math.Pow per flow (IntegralXK stays as the
+		// scalar oracle).
+		kk := float64(k)
+		c := math.Pow(ps.B+1, kk) / (kk*ps.B + 1)
+		for i := 0; i < n; i++ {
+			sum += powi(pop.S[i], k) * powi(pop.InvD[i], k-1)
 		}
+		sum *= c
 	} else {
-		for _, f := range m.Flows {
-			s, d := f.S, f.D
+		for i := 0; i < n; i++ {
+			s, d := pop.S[i], pop.D[i]
 			g := func(u float64) float64 {
 				return math.Pow(m.Shot.Rate(s, d, u), float64(k))
 			}
 			sum += simpson(g, 0, d, 256)
 		}
 	}
-	return m.Lambda * sum / float64(len(m.Flows)), nil
+	return m.Lambda * sum / float64(n), nil
 }
 
 // Skewness returns κ₃/κ₂^(3/2) of the total rate, a check on how far the
@@ -287,14 +485,19 @@ func (m *Model) Skewness() (float64, error) {
 // where X̂ is the Fourier transform of the shot (§V-B). The transform is
 // evaluated by quadrature per flow sample.
 func (m *Model) SpectralDensity(omega float64) float64 {
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
+		return 0
+	}
 	var sum float64
-	for _, f := range m.Flows {
-		s, d := f.S, f.D
+	for i := 0; i < n; i++ {
+		s, d := pop.S[i], pop.D[i]
 		re := simpson(func(t float64) float64 { return m.Shot.Rate(s, d, t) * math.Cos(omega*t) }, 0, d, 256)
 		im := simpson(func(t float64) float64 { return m.Shot.Rate(s, d, t) * math.Sin(omega*t) }, 0, d, 256)
 		sum += re*re + im*im
 	}
-	return m.Lambda / (2 * math.Pi) * sum / float64(len(m.Flows))
+	return m.Lambda / (2 * math.Pi) * sum / float64(n)
 }
 
 // GaussianPDF returns the Gaussian approximation of the stationary density

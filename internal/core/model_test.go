@@ -300,6 +300,147 @@ func TestEmptyPopulationRejected(t *testing.T) {
 	}
 }
 
+// The closed-form eq.(7) path divides by the population size; a hand-built
+// Model with no flows must surface an error from the transform faces and
+// exact zeros from the moment faces, never NaN.
+func TestEmptyPopulationMomentFaces(t *testing.T) {
+	m := &Model{Lambda: 10, Shot: Triangular}
+	if _, err := m.AveragedVariance(0.2); err == nil {
+		t.Fatal("AveragedVariance on empty population should error, not NaN")
+	}
+	if _, err := m.AveragedVarianceBatch([]float64{0.05, 0.2}); err == nil {
+		t.Fatal("AveragedVarianceBatch on empty population should error")
+	}
+	if out, err := m.AveragedVarianceBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty Δ batch: %v, %v; want empty slice", out, err)
+	}
+	if _, err := m.LSTBatch([]float64{1e-6}); err == nil {
+		t.Fatal("LSTBatch on empty population should error")
+	}
+	if _, err := m.LogMGF(1e-6); err == nil {
+		t.Fatal("LogMGF on empty population should error")
+	}
+	if v := m.Variance(); v != 0 {
+		t.Fatalf("Variance on empty population = %g, want 0", v)
+	}
+	if v := m.CoV(); v != 0 {
+		t.Fatalf("CoV on empty population = %g, want 0", v)
+	}
+	if v := m.AutoCovariance(0.1); v != 0 {
+		t.Fatalf("AutoCovariance on empty population = %g, want 0", v)
+	}
+	if v := m.SpectralDensity(1); v != 0 {
+		t.Fatalf("SpectralDensity on empty population = %g, want 0", v)
+	}
+}
+
+// WithLambda shares the population and moments, so every derived quantity
+// must equal a model rebuilt from scratch at the new rate — exactly, since
+// the arithmetic paths are identical.
+func TestWithLambdaMatchesRebuild(t *testing.T) {
+	fl := testFlows(400, 16)
+	base, err := NewModel(25, Triangular, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mult := range []float64{0.25, 1, 3, 16} {
+		scaled, err := base.WithLambda(25 * mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewModel(25*mult, Triangular, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scaled.Mean() != want.Mean() {
+			t.Fatalf("mult %g: mean %g != %g", mult, scaled.Mean(), want.Mean())
+		}
+		if scaled.Variance() != want.Variance() {
+			t.Fatalf("mult %g: variance %g != %g", mult, scaled.Variance(), want.Variance())
+		}
+		av1, err1 := scaled.AveragedVariance(0.2)
+		av2, err2 := want.AveragedVariance(0.2)
+		if err1 != nil || err2 != nil || av1 != av2 {
+			t.Fatalf("mult %g: σ_Δ² %g != %g (%v, %v)", mult, av1, av2, err1, err2)
+		}
+		b1, err1 := scaled.Bandwidth(0.01)
+		b2, err2 := want.Bandwidth(0.01)
+		if err1 != nil || err2 != nil || b1 != b2 {
+			t.Fatalf("mult %g: bandwidth %g != %g", mult, b1, b2)
+		}
+	}
+	if _, err := base.WithLambda(0); err == nil {
+		t.Fatal("λ=0 should be rejected")
+	}
+	if _, err := base.WithLambda(-3); err == nil {
+		t.Fatal("negative λ should be rejected")
+	}
+	// The base model is untouched.
+	if base.Lambda != 25 {
+		t.Fatalf("WithLambda mutated the receiver: λ = %g", base.Lambda)
+	}
+}
+
+// The pooled columnar path must produce bitwise the same moments as the
+// allocating path, and a reused pool must carry no state across intervals.
+func TestInputFromFlowsPopMatchesAllocating(t *testing.T) {
+	flows := []flow.Flow{
+		{Start: 0, End: 2, Bytes: 1000, Packets: 3},
+		{Start: 1, End: 4, Bytes: 2500, Packets: 5},
+		{Start: 5, End: 6, Bytes: 500, Packets: 2},
+		{Start: 7, End: 7, Bytes: 100, Packets: 1}, // zero duration: skipped
+	}
+	ref, err := InputFromFlows(flows, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &FlowPop{}
+	got, err := InputFromFlowsPop(pop, flows, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lambda != ref.Lambda || got.MeanS != ref.MeanS || got.MeanS2OverD != ref.MeanS2OverD {
+		t.Fatalf("pooled moments (%g, %g, %g) != allocating (%g, %g, %g)",
+			got.Lambda, got.MeanS, got.MeanS2OverD, ref.Lambda, ref.MeanS, ref.MeanS2OverD)
+	}
+	if got.Pop != pop || got.Pop.Len() != len(ref.Samples) {
+		t.Fatalf("pooled input does not carry the pool (len %d vs %d)", got.Pop.Len(), len(ref.Samples))
+	}
+	// Reuse with a different interval: the pool must reset completely.
+	again, err := InputFromFlowsPop(pop, flows[1:3], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Len() != 2 {
+		t.Fatalf("reused pool kept stale flows: len %d, want 2", pop.Len())
+	}
+	ref2, err := InputFromFlows(flows[1:3], 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Lambda != ref2.Lambda || again.MeanS != ref2.MeanS || again.MeanS2OverD != ref2.MeanS2OverD {
+		t.Fatal("reused pool moments diverge from a fresh computation")
+	}
+	// Models over the pooled and allocating inputs agree exactly.
+	mp, err := again.Model(Parabolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := ref2.Model(Parabolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Variance() != ma.Variance() {
+		t.Fatalf("pooled model variance %g != allocating %g", mp.Variance(), ma.Variance())
+	}
+	if _, err := InputFromFlowsPop(pop, flows[3:], 30); err == nil {
+		t.Fatal("interval with no usable flows should error")
+	}
+	if _, err := InputFromFlowsPop(pop, flows, 0); err == nil {
+		t.Fatal("zero interval should be rejected")
+	}
+}
+
 func TestCumulantFuncShotNumericPath(t *testing.T) {
 	fs, err := NewFuncShot("flat", func(u float64) float64 { return 1 })
 	if err != nil {

@@ -20,8 +20,11 @@ import (
 // respects the positivity and the skew of the rate, so it does not
 // under-provision for small congestion probabilities.
 
-// LogMGF returns ψ(θ) for θ ≥ 0. The expectation is evaluated by Simpson
-// quadrature per flow sample. ψ(0) = 0, ψ'(0) = E[R], ψ”(0) = Var(R).
+// LogMGF returns ψ(θ) for θ ≥ 0. Integer-b power shots evaluate the inner
+// integral in closed form through the hoisted θ-kernel (gammaLowerExpM1 is
+// the only per-flow transcendental — this is what the Chernoff θ search
+// runs on); other shots integrate by Simpson quadrature per flow sample.
+// ψ(0) = 0, ψ'(0) = E[R], ψ”(0) = Var(R).
 func (m *Model) LogMGF(theta float64) (float64, error) {
 	if theta < 0 {
 		return 0, fmt.Errorf("core: LogMGF requires theta >= 0, got %g", theta)
@@ -29,9 +32,24 @@ func (m *Model) LogMGF(theta float64) (float64, error) {
 	if theta == 0 {
 		return 0, nil
 	}
+	pop := m.population()
+	n := pop.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("core: log-MGF needs a non-empty flow population")
+	}
 	var sum float64
-	for _, f := range m.Flows {
-		s, d := f.S, f.D
+	if ps, ok := m.Shot.(PowerShot); ok && ps.closedFormB() {
+		k := newLSTKernel(int(ps.B), theta)
+		for i := 0; i < n; i++ {
+			sum += k.expM1(pop.S[i], pop.D[i], pop.InvD[i])
+			if math.IsInf(sum, 0) {
+				return math.Inf(1), nil
+			}
+		}
+		return m.Lambda * sum / float64(n), nil
+	}
+	for i := 0; i < n; i++ {
+		s, d := pop.S[i], pop.D[i]
 		g := func(u float64) float64 {
 			return math.Expm1(theta * m.Shot.Rate(s, d, u))
 		}
@@ -40,7 +58,7 @@ func (m *Model) LogMGF(theta float64) (float64, error) {
 			return math.Inf(1), nil
 		}
 	}
-	return m.Lambda * sum / float64(len(m.Flows)), nil
+	return m.Lambda * sum / float64(n), nil
 }
 
 // ChernoffExceedProb returns the large-deviations upper bound on P(R > c):

@@ -106,6 +106,11 @@ func (s IntervalStat) UtilClass() string {
 type Runner struct {
 	opts  Options
 	specs []trace.TraceSpec
+	// avKernels are the eq.(7) coefficient caches for the three suite shot
+	// shapes (b = 0, 1, 2) at the suite Δ, built once and shared read-only by
+	// every interval worker — the per-interval model evaluation then runs
+	// entirely on precomputed constants.
+	avKernels [3]*core.AvgVarKernel
 
 	// Lazily computed.
 	stats     []IntervalStat
@@ -131,7 +136,15 @@ func NewRunner(opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &Runner{opts: o, specs: specs}, nil
+	r := &Runner{opts: o, specs: specs}
+	for b := range r.avKernels {
+		k, err := core.NewAvgVarKernel(b, o.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		r.avKernels[b] = k
+	}
+	return r, nil
 }
 
 // Specs exposes the scaled Table I suite.
@@ -269,11 +282,13 @@ func (r *Runner) measureSuite() error {
 		taskWG.Add(1)
 		go func() {
 			defer taskWG.Done()
-			// Per-worker scratch: one rate binner and one flow measurer serve
-			// every interval this worker measures (Reinit/Reset reuse bins,
-			// key tables and state slabs), so an interval costs no
+			// Per-worker scratch: one rate binner, one flow measurer and one
+			// columnar flow population serve every interval this worker
+			// measures (Reinit/Reset reuse bins, key tables, state slabs and
+			// the population's columns), so an interval costs no
 			// measurement-machinery allocation.
 			binner := &timeseries.Binner{}
+			pop := &core.FlowPop{}
 			for tk := range tasks {
 				if aborted.Load() {
 					// Still drain the stream: its producer may be blocked
@@ -283,7 +298,7 @@ func (r *Runner) measureSuite() error {
 					<-inflight
 					continue
 				}
-				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner, meas); err != nil {
+				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner, meas, pop); err != nil {
 					taskErrMu.Lock()
 					if taskErrs[tk.ti] == nil {
 						taskErrs[tk.ti] = fmt.Errorf("interval %d: %w", tk.stream.Index, err)
@@ -407,7 +422,7 @@ func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- interva
 // intervals of the same trace measure concurrently. The sub-stream is
 // always drained to completion (even on error or skip), so the producing
 // trace is never left blocked.
-func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResult, binner *timeseries.Binner, meas *flow.Measurer) error {
+func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResult, binner *timeseries.Binner, meas *flow.Measurer, pop *core.FlowPop) error {
 	spec := r.specs[ti]
 	if err := binner.Reinit(spec.IntervalSec, r.opts.Delta); err != nil {
 		for range is.Blocks() {
@@ -438,7 +453,7 @@ func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResul
 		ivr := flow.IntervalResult{Index: is.Index, Start: is.Start, Result: results[di]}
 		// Each definition subtracts its own discarded packets, so it gets
 		// its own snapshot of the interval's rate series.
-		stat, err := r.intervalStat(spec, ivr, def, binner.Series())
+		stat, err := r.intervalStat(spec, ivr, def, binner.Series(), pop)
 		if err != nil {
 			continue // degenerate interval: skip the point
 		}
@@ -460,13 +475,16 @@ func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResul
 const minIntervalFlows = 10
 
 // intervalStat computes one scatter point from an interval's flows and its
-// binned rate series (which it owns and mutates).
-func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def flow.Definition, series timeseries.Series) (IntervalStat, error) {
+// binned rate series (which it owns and mutates). The flow population lands
+// in the caller's reusable columnar pop — the hottest model loop of the
+// suite then runs the prebuilt (b, Δ) kernels straight over its columns,
+// with no per-interval model construction or column allocation.
+func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def flow.Definition, series timeseries.Series, pop *core.FlowPop) (IntervalStat, error) {
 	if len(iv.Flows) < minIntervalFlows {
 		return IntervalStat{}, fmt.Errorf("experiments: interval too sparse")
 	}
 	series.Subtract(iv.Discarded)
-	in, err := core.InputFromFlows(iv.Flows, spec.IntervalSec)
+	in, err := core.InputFromFlowsPop(pop, iv.Flows, spec.IntervalSec)
 	if err != nil {
 		return IntervalStat{}, err
 	}
@@ -485,16 +503,13 @@ func (r *Runner) intervalStat(spec trace.TraceSpec, iv flow.IntervalResult, def 
 		MeanS2oD:  in.MeanS2OverD,
 		ModelCoV:  map[int]float64{},
 	}
-	for _, b := range []int{0, 1, 2} {
-		m, err := in.Model(core.PowerShot{B: float64(b)})
+	mu := in.Lambda * in.MeanS
+	for b, k := range r.avKernels {
+		v, err := k.AveragedVariance(in.Lambda, pop)
 		if err != nil {
 			return IntervalStat{}, err
 		}
-		v, err := m.AveragedVariance(r.opts.Delta)
-		if err != nil {
-			return IntervalStat{}, err
-		}
-		if mu := m.Mean(); mu > 0 {
+		if mu > 0 {
 			stat.ModelCoV[b] = math.Sqrt(v) / mu
 		}
 	}

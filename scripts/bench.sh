@@ -93,7 +93,12 @@ fi
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${2:-3x}"
-pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkLongTraceWorkers|BenchmarkIntervalSplitter|BenchmarkAssemblerBlock|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkTraceGenerationSharded|BenchmarkWindowReplayDeepOffset|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance|BenchmarkSamplers|BenchmarkProgramsPhase1'
+pattern='BenchmarkTable1TraceSuite$|BenchmarkMeasureSuiteWorkers|BenchmarkLongTraceWorkers|BenchmarkIntervalSplitter|BenchmarkAssemblerBlock|BenchmarkTraceStreaming|BenchmarkTraceGeneration|BenchmarkTraceGenerationSharded|BenchmarkWindowReplayDeepOffset|BenchmarkFlowMeasurement|BenchmarkRateBinning|BenchmarkModelAveragedVariance$|BenchmarkAveragedVarianceBatch$|BenchmarkLSTBatch$|BenchmarkModelSuite$|BenchmarkProgramsPhase1'
+# Per-benchmark -benchtime overrides (NAME_REGEX=BENCHTIME), run as
+# separate passes so benchmarks whose per-op cost is wildly below the
+# suite's get a sane iteration count: the sampler sub-benchmarks are
+# nanoseconds per op, where the suite-wide 3 iterations is pure noise.
+overrides='BenchmarkSamplers=100000x'
 
 cd "$(dirname "$0")/.."
 
@@ -102,6 +107,12 @@ gomaxprocs="${GOMAXPROCS:-$cpus}"
 
 raw=$(go test -run=NONE -bench="$pattern" -benchtime="$benchtime" -benchmem .)
 printf '%s\n' "$raw" >&2
+for ov in $overrides; do
+    ovraw=$(go test -run=NONE -bench="${ov%%=*}" -benchtime="${ov#*=}" -benchmem .)
+    printf '%s\n' "$ovraw" >&2
+    raw="$raw
+$ovraw"
+done
 
 printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v gmp="$gomaxprocs" -v cpus="$cpus" '
 BEGIN {
