@@ -1,3 +1,10 @@
 module repro
 
+// Deliberately dependency-free. In particular, golang.org/x/tools is NOT
+// pinned even though cmd/repolint reimplements a slice of its go/analysis
+// API: this repo builds in hermetic containers with no module proxy, so
+// internal/analysis/framework mirrors the Analyzer/Pass/Diagnostic surface
+// on the stdlib alone (go list -export + go/importer standing in for
+// go/packages, a vet.cfg driver standing in for unitchecker). If x/tools
+// ever becomes available, pin it here and port the analyzers mechanically.
 go 1.24

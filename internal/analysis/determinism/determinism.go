@@ -1,0 +1,103 @@
+// Package determinism enforces the pipeline's bit-identical-output
+// contract: the suite's measurements must not depend on wall-clock time,
+// global RNG state, or Go's randomized map iteration order. The paper's
+// methodology (and every golden-output test in this repo) assumes a trace
+// measured twice — or sharded across any number of workers — produces the
+// same bytes, so the sources of silent nondeterminism are banned at vet
+// time in the pipeline packages:
+//
+//   - importing math/rand or math/rand/v2 (the pipeline draws exclusively
+//     from the seeded splittable internal/dist/rng streams);
+//   - calling time.Now, time.Since, or time.Until (results must be a pure
+//     function of the seed and config, never of when the run happened);
+//   - ranging over a map (iteration order is deliberately randomized by
+//     the runtime; ordered iteration must go through a sorted key slice).
+//
+// A range whose body is genuinely order-insensitive can be annotated
+//
+//	//repro:nondeterminism-ok <why the order cannot reach any output>
+//
+// on the statement's line (or alone on the line above it).
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, math/rand, and map iteration in the " +
+		"deterministic pipeline packages",
+	Suppressors: []string{"nondeterminism-ok"},
+	Run:         run,
+}
+
+// bannedImports are stateful-RNG packages the pipeline must not touch.
+var bannedImports = map[string]string{
+	"math/rand":    "global/stateful RNG breaks bit-identical replay; use internal/dist/rng streams",
+	"math/rand/v2": "global/stateful RNG breaks bit-identical replay; use internal/dist/rng streams",
+}
+
+// bannedTimeFuncs are wall-clock reads; a deterministic pipeline's outputs
+// may not depend on when it ran.
+var bannedTimeFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in pipeline packages: %s", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil {
+					if name := fn.FullName(); bannedTimeFuncs[name] {
+						pass.Reportf(n.Pos(), "call of %s is forbidden in pipeline packages: outputs must not depend on wall-clock time", name)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "range over map %s: iteration order is nondeterministic; iterate a sorted key slice, or annotate //repro:nondeterminism-ok with why the order cannot reach any output", types.ExprString(n.X))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's callee to a *types.Func, or nil for builtins,
+// conversions, and indirect calls.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

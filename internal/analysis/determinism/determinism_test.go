@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/framework/testutil"
+)
+
+func TestDeterminism(t *testing.T) {
+	testutil.Run(t, "testdata/a", determinism.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package a is the determinism analyzer fixture: every banned source of
+// nondeterminism, plus the annotated and genuinely-deterministic shapes
+// that must stay silent.
+package a
+
+import (
+	"math/rand" // want "import of math/rand is forbidden in pipeline packages"
+	"time"
+)
+
+// Bad reads the wall clock and the global RNG.
+func Bad() float64 {
+	t0 := time.Now()   // want "call of time.Now is forbidden in pipeline packages"
+	_ = time.Since(t0) // want "call of time.Since is forbidden in pipeline packages"
+	return rand.Float64()
+}
+
+// RangeMap iterates a map in runtime-randomized order.
+func RangeMap(m map[string]int) int {
+	var sum int
+	for _, v := range m { // want "range over map m: iteration order is nondeterministic"
+		sum += v
+	}
+	return sum
+}
+
+// RangeMapSuppressed documents why the order cannot reach any output.
+func RangeMapSuppressed(m map[string]int) int {
+	var sum int
+	//repro:nondeterminism-ok commutative sum, fixture for the suppression path
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// RangeSlice is ordered iteration: no finding.
+func RangeSlice(s []int) int {
+	var sum int
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+// BadDirective carries a typo'd directive name, which the framework itself
+// must flag.
+func BadDirective() {
+	//repro:nondetreminism-ok typo'd on purpose // want "unknown directive //repro:nondetreminism-ok"
+	_ = 0
+}

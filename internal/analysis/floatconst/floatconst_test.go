@@ -1,0 +1,12 @@
+package floatconst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/floatconst"
+	"repro/internal/analysis/framework/testutil"
+)
+
+func TestFloatConst(t *testing.T) {
+	testutil.Run(t, "testdata/a", floatconst.Analyzer)
+}

@@ -1,0 +1,42 @@
+// Package a is the floatconst analyzer fixture: stray transcendentals and
+// exact float comparisons in a kernel file, next to the allowed zero-guard,
+// NaN-test, and annotated shapes.
+package a
+
+import "math"
+
+// Pow is a stray per-flow transcendental.
+func Pow(x, y float64) float64 {
+	return math.Pow(x, y) // want "math.Pow in kernel file a.go"
+}
+
+// Gamma likewise.
+func Gamma(x float64) float64 {
+	return math.Gamma(x) // want "math.Gamma in kernel file a.go"
+}
+
+// PowOK is documented as off the per-flow path.
+func PowOK(x, y float64) float64 {
+	return math.Pow(x, y) //repro:transcendental-ok fixture: construction-time only
+}
+
+// Eq and Neq compare floats exactly.
+func Eq(a, b float64) bool {
+	return a == b // want "float == comparison in kernel file a.go"
+}
+
+// Neq is the mirror case.
+func Neq(a, b float64) bool {
+	return a != b // want "float != comparison in kernel file a.go"
+}
+
+// ZeroGuard and IsNaN are the two allowed comparison shapes.
+func ZeroGuard(a float64) bool { return a == 0 }
+
+// IsNaN is the conventional x != x test.
+func IsNaN(a float64) bool { return a != a }
+
+// EqOK documents an intended exact comparison.
+func EqOK(a, b float64) bool {
+	return a == b //repro:floateq-ok fixture: bit-identity check is the point
+}

@@ -1,0 +1,11 @@
+package a
+
+import "math"
+
+// OraclePow lives in a designated scalar-oracle file (shot.go), where
+// transcendentals and exact comparisons are the reference implementation's
+// business: no findings here.
+func OraclePow(x, y float64) float64 { return math.Pow(x, y) }
+
+// OracleEq likewise.
+func OracleEq(a, b float64) bool { return a == b }

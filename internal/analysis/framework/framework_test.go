@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg builds a minimal Package (no type info) from one source string —
+// enough for Run's directive hygiene and suppression machinery, which only
+// reads Files/Src.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return &Package{
+		ImportPath: "fixture/p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		GoFiles:    []string{"p.go"},
+		Src:        map[string][]byte{"p.go": []byte(src)},
+	}
+}
+
+func TestDirectiveHygiene(t *testing.T) {
+	src := `package p
+
+//repro:hotpath
+func A() {}
+
+func B() {
+	//repro:nondeterminism-ok
+	_ = 1
+}
+
+//repro:frobnicate whatever
+func C() {}
+`
+	diags, err := Run(parsePkg(t, src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if got := diags[0]; got.Pos.Line != 7 || !strings.Contains(got.Message, "requires a justification") {
+		t.Errorf("missing-reason diagnostic wrong: %v", got)
+	}
+	if got := diags[1]; got.Pos.Line != 11 || !strings.Contains(got.Message, "unknown directive //repro:frobnicate") {
+		t.Errorf("unknown-directive diagnostic wrong: %v", got)
+	}
+}
+
+// flagAssigns reports every assignment statement; used to pin directive
+// suppression line semantics (inline = own line, own-line = next line).
+var flagAssigns = &Analyzer{
+	Name:        "flagassigns",
+	Doc:         "test analyzer: report every assignment",
+	Suppressors: []string{"alloc-ok"},
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if a, ok := n.(*ast.AssignStmt); ok {
+					pass.Reportf(a.Pos(), "assignment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionLines(t *testing.T) {
+	src := `package p
+
+func f() {
+	var x int
+	x = 1 //repro:alloc-ok inline directive suppresses its own line
+	//repro:alloc-ok own-line directive suppresses the next line
+	x = 2
+	x = 3
+	_ = x
+}
+`
+	diags, err := Run(parsePkg(t, src), []*Analyzer{flagAssigns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// x = 1 (line 5) and x = 2 (line 7) are suppressed; x = 3 (line 8) and
+	// _ = x (line 9) are not.
+	if len(lines) != 2 || lines[0] != 8 || lines[1] != 9 {
+		t.Fatalf("suppression kept wrong lines: got %v, want [8 9]", lines)
+	}
+}
+
+func TestDirectiveNotASuppressor(t *testing.T) {
+	// A directive an analyzer did not register must not silence it.
+	src := `package p
+
+func f() {
+	var x int
+	x = 1 //repro:floateq-ok not a hotpath suppressor
+	_ = x
+}
+`
+	diags, err := Run(parsePkg(t, src), []*Analyzer{flagAssigns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (no suppression): %v", len(diags), diags)
+	}
+}

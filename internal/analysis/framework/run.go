@@ -1,0 +1,84 @@
+package framework
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Run applies analyzers to one loaded package, applies directive
+// suppression, and returns the surviving diagnostics sorted by position.
+// Findings in _test.go files are dropped (vet mode can hand the framework
+// test variants; the invariants govern shipped code only).
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directive index: directive name -> filename -> governed lines.
+	governed := map[string]map[string]map[int]bool{}
+	var diags []Diagnostic
+	for i, file := range pkg.Files {
+		src := pkg.Src[pkg.GoFiles[i]]
+		for _, d := range ParseDirectives(pkg.Fset, file, src) {
+			needsReason, known := KnownDirectives[d.Name]
+			if !known {
+				diags = append(diags, Diagnostic{
+					Pos: d.Pos, Analyzer: "directive",
+					Message: fmt.Sprintf("unknown directive %s%s", DirectivePrefix, d.Name),
+				})
+				continue
+			}
+			if needsReason && d.Reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos: d.Pos, Analyzer: "directive",
+					Message: fmt.Sprintf("%s%s requires a justification: %s%s <why this is safe>",
+						DirectivePrefix, d.Name, DirectivePrefix, d.Name),
+				})
+				continue
+			}
+			byFile := governed[d.Name]
+			if byFile == nil {
+				byFile = map[string]map[int]bool{}
+				governed[d.Name] = byFile
+			}
+			lines := byFile[d.Pos.Filename]
+			if lines == nil {
+				lines = map[int]bool{}
+				byFile[d.Pos.Filename] = lines
+			}
+			for _, ln := range d.Lines() {
+				lines[ln] = true
+			}
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			Src:   pkg.Src,
+		}
+		name := a.Name
+		supp := a.Suppressors
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			for _, s := range supp {
+				if governed[s][d.Pos.Filename][d.Pos.Line] {
+					return
+				}
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	SortDiagnostics(kept)
+	return kept, nil
+}

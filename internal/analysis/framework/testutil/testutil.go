@@ -1,0 +1,211 @@
+// Package testutil runs analyzers over testdata fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture lines carry
+// `// want "regexp"` comments naming the diagnostics they must produce, and
+// the runner fails the test on any missing or unexpected finding.
+package testutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes the single fixture package in dir (absolute or relative to
+// the test's working directory) with the analyzers and checks the findings
+// against the fixture's `// want` comments. Directive suppression and the
+// framework's own directive hygiene checks apply, so fixtures can also pin
+// the suppression path.
+func Run(t *testing.T, dir string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	pkg, err := load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := framework.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, file := range pkg.GoFiles {
+		src := pkg.Src[file]
+		for ln, lineText := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", file, ln+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, ln+1, pat, err)
+				}
+				k := key{file, ln + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var missing []string
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("%s", m)
+	}
+}
+
+// load parses and type-checks the fixture package in dir, resolving its
+// imports (stdlib or in-module) through `go list -export`.
+func load(dir string) (*framework.Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &framework.Package{
+		ImportPath: "fixture/" + filepath.Base(abs),
+		Dir:        abs,
+		Fset:       fset,
+		Src:        map[string][]byte{},
+	}
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(abs, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range file.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+		pkg.Src[path] = src
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", abs)
+	}
+
+	exports, err := exportData(abs, imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	pkg.Info = framework.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %v", err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// exportData maps every transitive dependency of the fixture's imports to
+// its compiler export file.
+func exportData(dir string, imports map[string]bool) (map[string]string, error) {
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Error"}
+	for p := range imports {
+		args = append(args, p)
+	}
+	sort.Strings(args[4:])
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+			Error      *struct{ Err string }
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("dependency %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,149 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the JSON configuration `go vet -vettool` hands the tool
+// for each package (cmd/go/internal/work.vetConfig). Fields the suite does
+// not consume are still listed so the decoder accepts every config.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Scoped pairs an analyzer with the import paths it governs.
+type Scoped struct {
+	Analyzer *Analyzer
+	Match    func(importPath string) bool
+}
+
+// VetVersion prints the tool identity in the exact shape cmd/go's buildID
+// probe (`tool -V=full`) accepts: `name version id`, where the id is a
+// content hash of the executable so edits to the tool invalidate go vet's
+// result cache.
+func VetVersion(name string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("sha256-%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version %s\n", name, id)
+}
+
+// VetMain implements the `go vet -vettool` protocol for one package config
+// file: parse and type-check the package against the export data go vet
+// supplies, run the in-scope analyzers, print findings to stderr, and exit
+// non-zero when any survive. Test files are excluded — the invariant suite
+// governs shipped code (tests legitimately use math/rand and maps), and
+// `go vet` hands the tool test-augmented package variants.
+func VetMain(cfgPath string, suite []Scoped) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(1)
+	}
+	// go vet caches and threads VetxOutput to dependents via PackageVetx;
+	// the suite has no cross-package facts, so an empty file suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly || cfg.Compiler == "gccgo" {
+		return
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 ||
+		strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		return
+	}
+	var in []*Analyzer
+	for _, s := range suite {
+		if s.Match == nil || s.Match(cfg.ImportPath) {
+			in = append(in, s.Analyzer)
+		}
+	}
+	if len(in) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := Run(pkg, in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+		os.Exit(2)
+	}
+}
+
+func readVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &VetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

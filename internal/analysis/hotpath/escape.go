@@ -1,0 +1,143 @@
+package hotpath
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Range is the source span of one //repro:hotpath function.
+type Range struct {
+	File       string // absolute path
+	Start, End int    // line span of the declaration, inclusive
+	Func       string
+}
+
+// Ranges collects the source spans of every annotated hot function across
+// the loaded packages.
+func Ranges(pkgs []*framework.Package) []Range {
+	var out []Range
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !framework.HasDirective(fn, "hotpath") {
+					continue
+				}
+				start := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				out = append(out, Range{
+					File:  start.Filename,
+					Start: start.Line,
+					End:   end.Line,
+					Func:  fn.Name.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// AllocOKLines indexes the //repro:alloc-ok directives of the loaded
+// packages: filename -> lines they govern.
+func AllocOKLines(pkgs []*framework.Package) map[string]map[int]bool {
+	allowed := map[string]map[int]bool{}
+	for _, pkg := range pkgs {
+		for i, file := range pkg.Files {
+			src := pkg.Src[pkg.GoFiles[i]]
+			for _, d := range framework.ParseDirectives(pkg.Fset, file, src) {
+				if d.Name != "alloc-ok" || d.Reason == "" {
+					continue
+				}
+				lines := allowed[d.Pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					allowed[d.Pos.Filename] = lines
+				}
+				for _, ln := range d.Lines() {
+					lines[ln] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// EscapeFinding is one `escapes to heap` / `moved to heap` compiler
+// diagnostic.
+type EscapeFinding struct {
+	File string // absolute path
+	Line int
+	Col  int
+	Msg  string
+}
+
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// ParseBuildOutput extracts heap-escape diagnostics from
+// `go build -gcflags=-m` output. Paths are resolved relative to baseDir
+// (the directory the build ran in).
+func ParseBuildOutput(out []byte, baseDir string) []EscapeFinding {
+	var fs []EscapeFinding
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(baseDir, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		fs = append(fs, EscapeFinding{File: file, Line: ln, Col: col, Msg: msg})
+	}
+	return fs
+}
+
+// CheckEscapes matches compiler escape diagnostics against hot-function
+// spans, dropping lines annotated //repro:alloc-ok.
+func CheckEscapes(ranges []Range, findings []EscapeFinding, allowed map[string]map[int]bool) []framework.Diagnostic {
+	var out []framework.Diagnostic
+	for _, f := range findings {
+		for _, r := range ranges {
+			if f.File != r.File || f.Line < r.Start || f.Line > r.End {
+				continue
+			}
+			if allowed[f.File][f.Line] {
+				break
+			}
+			out = append(out, framework.Diagnostic{
+				Pos:      token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+				Analyzer: "hotpath-escape",
+				Message: fmt.Sprintf("heap allocation in hotpath function %s: %s (from go build -gcflags=-m)",
+					r.Func, f.Msg),
+			})
+			break
+		}
+	}
+	framework.SortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,51 @@
+// Package a is the hotpath analyzer fixture: one annotated function hitting
+// every statically-detectable allocation shape, one showing the annotated
+// cold-branch and slice-forwarding escapes, and one unannotated function
+// the budget does not govern.
+package a
+
+import "fmt"
+
+type sink struct{ buf []byte }
+
+type boxer interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+func helper() {}
+
+func useIface(x interface{}) { _ = x }
+
+// Hot is annotated; every allocation below must be flagged.
+//
+//repro:hotpath
+func Hot(s *sink, n int, str string, bs []byte) {
+	f := func() int { return n } // want "closure literal in hotpath function Hot allocates"
+	_ = f
+	go helper()             // want "go statement in hotpath function Hot allocates a goroutine per call"
+	s.buf = make([]byte, n) // want "make in hotpath function Hot allocates"
+	p := new(int)           // want "new in hotpath function Hot allocates"
+	_ = p
+	_ = str + "!"     // want "string concatenation in hotpath function Hot allocates"
+	_ = []byte(str)   // want "conversion string -> "
+	_ = string(bs)    // want "conversion \\[\\]byte -> string in hotpath function Hot allocates"
+	_ = boxer(impl{}) // want "interface conversion in hotpath function Hot boxes its operand"
+	useIface(n)       // want "argument boxed into interface parameter in hotpath function Hot"
+	fmt.Println(n)    // want "variadic call in hotpath function Hot allocates the argument slice" "argument boxed into interface parameter"
+}
+
+// HotOK shows the allowed shapes: an annotated cold branch and variadic
+// forwarding of an existing slice.
+//
+//repro:hotpath
+func HotOK(s *sink, n int, xs []interface{}) {
+	if n < 0 {
+		s.buf = make([]byte, -n) //repro:alloc-ok fixture: cold branch, fires at most once
+	}
+	fmt.Println(xs...)
+}
+
+// Cold is not annotated: the allocation budget does not apply.
+func Cold(n int) []byte { return make([]byte, n) }

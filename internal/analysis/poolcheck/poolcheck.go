@@ -1,0 +1,574 @@
+// Package poolcheck enforces trace.Block pool discipline within each
+// function: a block obtained from trace.GetBlock must reach trace.PutBlock
+// exactly once on every path that keeps ownership, and must never be
+// touched after it is returned to the pool. These are the two latent-bug
+// classes of pooled columnar pipelines — a leaked block quietly degrades
+// the pool into an allocator, and a use-after-put corrupts a block another
+// goroutine already refilled (the corruption surfaces as a wrong
+// measurement, not a crash, which is exactly what the golden-output tests
+// cannot localize).
+//
+// The analysis is conservative and intra-procedural. A tracked block that
+// escapes the function's control — returned, sent on a channel, stored
+// into a field/slice/global, captured by a closure, passed to any function
+// other than PutBlock, or aliased — transfers ownership and is no longer
+// tracked; the analyzer only reports violations it can prove on the local
+// def-use chain:
+//
+//   - PutBlock called twice on the same still-local block (double put),
+//   - any use of a block after PutBlock (use-after-put),
+//   - a block still held when its scope ends or the function returns
+//     (leak), including re-acquiring into a variable that still holds an
+//     unreleased block,
+//   - a bare GetBlock() whose result is discarded.
+//
+// defer PutBlock(b) releases b on every exit path and is the idiomatic
+// whole-function hold.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the block-pool discipline checker.
+var Analyzer = &framework.Analyzer{
+	Name: "poolcheck",
+	Doc:  "every trace.GetBlock must be balanced by PutBlock on all paths, with no use after put",
+	Run:  run,
+}
+
+// PoolPackage is the package whose GetBlock/PutBlock pair defines the pool
+// protocol. Calls are matched by resolved import path, so aliased imports
+// and intra-package (bare) calls are both recognized.
+const PoolPackage = "repro/internal/trace"
+
+type state int
+
+const (
+	held     state = iota // acquired from GetBlock, not yet released
+	released              // PutBlock called; any further use is a bug
+)
+
+// tracked carries the analysis state for the locals of one function.
+type tracked struct {
+	pass *framework.Pass
+	// lo, hi bound the function under analysis: only variables declared
+	// inside it are tracked. A captured outer variable's lifetime exceeds
+	// one closure invocation, so holding it across a closure return is
+	// not a leak the intra-procedural analysis can judge.
+	lo, hi token.Pos
+	state  map[*types.Var]state
+	// deferred marks blocks released by a defer PutBlock(b): they are held
+	// for the whole function body but satisfied on every exit path.
+	deferred map[*types.Var]bool
+	// declDepth records the block-nesting depth each variable was declared
+	// at, so scope exit can flag still-held blocks going out of scope.
+	declDepth map[*types.Var]int
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var lo, hi token.Pos
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body, lo, hi = n.Body, n.Pos(), n.End()
+			case *ast.FuncLit:
+				body, lo, hi = n.Body, n.Pos(), n.End()
+			}
+			if body == nil {
+				return true
+			}
+			t := &tracked{
+				pass:      pass,
+				lo:        lo,
+				hi:        hi,
+				state:     map[*types.Var]state{},
+				deferred:  map[*types.Var]bool{},
+				declDepth: map[*types.Var]int{},
+			}
+			if !t.stmts(body.List, 0) {
+				t.scopeEnd(body.End(), 0)
+			}
+			// Nested function literals are visited independently by
+			// ast.Inspect, each with fresh tracking.
+			return true
+		})
+	}
+	return nil
+}
+
+// poolCall classifies a call as GetBlock or PutBlock of the pool package.
+func (t *tracked) poolCall(call *ast.CallExpr) (get, put bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false, false
+	}
+	fn, ok := t.pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != PoolPackage {
+		return false, false
+	}
+	switch fn.Name() {
+	case "GetBlock":
+		return true, false
+	case "PutBlock":
+		return false, true
+	}
+	return false, false
+}
+
+// localVar resolves an expression to a tracked-eligible local variable.
+func (t *tracked) localVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := t.pass.Info.Uses[id]
+	if obj == nil {
+		obj = t.pass.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pos() < t.lo || v.Pos() > t.hi {
+		return nil
+	}
+	return v
+}
+
+// stmts runs the analysis over a statement list at the given block depth.
+func (t *tracked) stmts(list []ast.Stmt, depth int) (terminated bool) {
+	for _, s := range list {
+		if t.stmt(s, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt analyzes one statement; it returns true when control cannot fall
+// through (return / panic-like).
+func (t *tracked) stmt(s ast.Stmt, depth int) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		t.assign(s, depth)
+	case *ast.ExprStmt:
+		t.expr(s.X)
+	case *ast.DeferStmt:
+		if _, put := t.poolCall(s.Call); put && len(s.Call.Args) == 1 {
+			if v := t.localVar(s.Call.Args[0]); v != nil {
+				if _, ok := t.state[v]; ok {
+					if t.deferred[v] {
+						t.pass.Reportf(s.Pos(), "block %s already has a deferred PutBlock: double put", v.Name())
+					}
+					t.deferred[v] = true
+					return false
+				}
+			}
+		}
+		t.expr(s.Call)
+	case *ast.SendStmt:
+		// Sending a block transfers ownership to the receiver.
+		if v := t.localVar(s.Value); v != nil {
+			t.use(v, s.Value.Pos())
+			t.untrack(v)
+		} else {
+			t.expr(s.Value)
+		}
+		t.expr(s.Chan)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := t.localVar(r); v != nil {
+				t.use(v, r.Pos())
+				t.untrack(v) // ownership transfers to the caller
+			} else {
+				t.expr(r)
+			}
+		}
+		t.exitCheck(s.Pos())
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.stmt(s.Init, depth)
+		}
+		t.expr(s.Cond)
+		t.branch(s.Pos(), depth,
+			func(b *tracked) bool { return b.stmts(s.Body.List, depth+1) },
+			func(b *tracked) bool {
+				if s.Else != nil {
+					return b.stmt(s.Else, depth)
+				}
+				return false
+			})
+	case *ast.BlockStmt:
+		t.stmts(s.List, depth+1)
+		t.scopeEnd(s.End(), depth+1)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.stmt(s.Init, depth)
+		}
+		if s.Cond != nil {
+			t.expr(s.Cond)
+		}
+		if s.Post != nil {
+			t.stmt(s.Post, depth)
+		}
+		t.loopBody(s.Body, depth)
+	case *ast.RangeStmt:
+		t.expr(s.X)
+		if v := t.localVar(s.X); v != nil {
+			t.use(v, s.X.Pos())
+		}
+		t.loopBody(s.Body, depth)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init, depth)
+		}
+		if s.Tag != nil {
+			t.expr(s.Tag)
+		}
+		t.cases(s.Body, depth)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init, depth)
+		}
+		t.cases(s.Body, depth)
+	case *ast.SelectStmt:
+		t.cases(s.Body, depth)
+	case *ast.GoStmt:
+		// The goroutine may run at any time; everything it can reach
+		// escapes.
+		t.escapeAll(s.Call)
+		t.expr(s.Call)
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt, depth)
+	case *ast.IncDecStmt:
+		t.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						t.expr(val)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// assign handles x := GetBlock() / x = GetBlock() / other assignments.
+func (t *tracked) assign(s *ast.AssignStmt, depth int) {
+	// Single-value pool acquisition into a plain local.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if get, _ := t.poolCall(call); get {
+				if v := t.localVar(s.Lhs[0]); v != nil {
+					if st, ok := t.state[v]; ok && st == held && !t.deferred[v] {
+						t.pass.Reportf(s.Pos(), "block %s reacquired while still held: previous block leaks", v.Name())
+					}
+					t.state[v] = held
+					delete(t.deferred, v)
+					if _, ok := t.declDepth[v]; !ok {
+						t.declDepth[v] = depth
+					}
+					return
+				}
+				// GetBlock result stored somewhere the analysis cannot
+				// follow (field, slice element): ownership escapes.
+				for _, l := range s.Lhs {
+					t.expr(l)
+				}
+				return
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		// Aliasing a tracked block (y := blk) forks ownership; drop both.
+		if v := t.localVar(r); v != nil {
+			t.use(v, r.Pos())
+			t.untrack(v)
+		} else {
+			t.expr(r)
+		}
+	}
+	for _, l := range s.Lhs {
+		if v := t.localVar(l); v != nil {
+			// Overwriting a held block loses the only reference.
+			if st, ok := t.state[v]; ok {
+				if st == held && !t.deferred[v] {
+					t.pass.Reportf(s.Pos(), "block %s overwritten while still held: block leaks", v.Name())
+				}
+				t.untrack(v)
+			}
+		} else {
+			t.expr(l)
+		}
+	}
+}
+
+// expr walks an expression, recording uses, escapes, and pool calls that
+// appear in expression position.
+func (t *tracked) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			get, put := t.poolCall(n)
+			if get {
+				t.pass.Reportf(n.Pos(), "GetBlock result discarded: block leaks")
+				return false
+			}
+			if put {
+				if len(n.Args) == 1 {
+					if v := t.localVar(n.Args[0]); v != nil {
+						t.put(v, n.Pos())
+						return false
+					}
+				}
+				return false
+			}
+			// A tracked block passed as a bare argument escapes into the
+			// callee (it may retain or release it). A method call on the
+			// block itself (blk.Append(...)) is an ordinary use.
+			for _, a := range n.Args {
+				if v := t.localVar(a); v != nil {
+					t.use(v, a.Pos())
+					t.untrack(v)
+				} else {
+					t.expr(a)
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if v := t.localVar(sel.X); v != nil {
+					t.use(v, sel.X.Pos())
+				} else {
+					t.expr(sel.X)
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if v := t.localVar(n.X); v != nil {
+					t.use(v, n.X.Pos())
+					t.untrack(v) // address taken: any alias may release it
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// A closure capturing a tracked block may run at any time.
+			t.escapeAll(n)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if v := t.localVar(el); v != nil {
+					t.use(v, el.Pos())
+					t.untrack(v)
+				}
+			}
+		case *ast.Ident:
+			if v := t.localVar(n); v != nil {
+				t.use(v, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// put transitions a block to released, reporting double puts.
+func (t *tracked) put(v *types.Var, pos token.Pos) {
+	st, ok := t.state[v]
+	if !ok {
+		return // untracked (escaped or never from GetBlock)
+	}
+	if st == released || t.deferred[v] {
+		t.pass.Reportf(pos, "block %s returned to the pool twice: double PutBlock", v.Name())
+		return
+	}
+	t.state[v] = released
+}
+
+// use reports a read of v when it has already been released.
+func (t *tracked) use(v *types.Var, pos token.Pos) {
+	if st, ok := t.state[v]; ok && st == released {
+		t.pass.Reportf(pos, "block %s used after PutBlock: the pool may already have handed it to another goroutine", v.Name())
+		// Report once per released block, then stop tracking.
+		t.untrack(v)
+	}
+}
+
+func (t *tracked) untrack(v *types.Var) {
+	delete(t.state, v)
+	delete(t.deferred, v)
+	delete(t.declDepth, v)
+}
+
+// escapeAll untracks every variable referenced inside node (closure
+// capture / goroutine escape).
+func (t *tracked) escapeAll(node ast.Node) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := t.localVar(id); v != nil {
+				if st, ok := t.state[v]; ok && st == released {
+					t.pass.Reportf(id.Pos(), "block %s captured after PutBlock: use after put", v.Name())
+				}
+				t.untrack(v)
+			}
+		}
+		return true
+	})
+}
+
+// branch analyzes two alternative paths on copies of the state and merges
+// conservatively: agreement is kept, divergence stops tracking (per-path
+// exit checks have already fired inside each branch).
+func (t *tracked) branch(pos token.Pos, depth int, then, els func(*tracked) bool) {
+	a := t.fork()
+	b := t.fork()
+	tTerm := then(a)
+	eTerm := els(b)
+	switch {
+	case tTerm && eTerm:
+		// Both paths exit; downstream code is unreachable, keep current
+		// state (it will not be consulted).
+	case tTerm:
+		t.adopt(b)
+	case eTerm:
+		t.adopt(a)
+	default:
+		t.merge(a, b)
+	}
+}
+
+func (t *tracked) fork() *tracked {
+	c := &tracked{
+		pass:      t.pass,
+		lo:        t.lo,
+		hi:        t.hi,
+		state:     map[*types.Var]state{},
+		deferred:  map[*types.Var]bool{},
+		declDepth: map[*types.Var]int{},
+	}
+	for k, v := range t.state {
+		c.state[k] = v
+	}
+	for k, v := range t.deferred {
+		c.deferred[k] = v
+	}
+	for k, v := range t.declDepth {
+		c.declDepth[k] = v
+	}
+	return c
+}
+
+func (t *tracked) adopt(c *tracked) {
+	t.state, t.deferred, t.declDepth = c.state, c.deferred, c.declDepth
+}
+
+func (t *tracked) merge(a, b *tracked) {
+	merged := map[*types.Var]state{}
+	for v, sa := range a.state {
+		if sb, ok := b.state[v]; ok && sa == sb && a.deferred[v] == b.deferred[v] {
+			merged[v] = sa
+		}
+		// Divergent or one-sided states: conservatively untracked.
+	}
+	t.state = merged
+	deferred := map[*types.Var]bool{}
+	for v := range merged {
+		if a.deferred[v] {
+			deferred[v] = true
+		}
+	}
+	t.deferred = deferred
+	depths := map[*types.Var]int{}
+	for v := range merged {
+		if d, ok := t.declDepth[v]; ok {
+			depths[v] = d
+		} else if d, ok := a.declDepth[v]; ok {
+			depths[v] = d
+		}
+	}
+	t.declDepth = depths
+}
+
+// loopBody analyzes a loop body once on a fork, reporting blocks acquired
+// inside the body that are still held when the iteration ends, then merges
+// conservatively (the body may run zero times).
+func (t *tracked) loopBody(body *ast.BlockStmt, depth int) {
+	a := t.fork()
+	terminated := a.stmts(body.List, depth+1)
+	if !terminated {
+		a.scopeEnd(body.End(), depth+1)
+	}
+	t.merge(a, t.fork())
+}
+
+// cases analyzes each case clause of a switch/select body as an alternative
+// branch and merges all of them conservatively.
+func (t *tracked) cases(body *ast.BlockStmt, depth int) {
+	forks := []*tracked{t.fork()} // the implicit no-case-taken path
+	for _, c := range body.List {
+		f := t.fork()
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				f.expr(e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				f.stmt(c.Comm, depth+1)
+			}
+			list = c.Body
+		}
+		if !f.stmts(list, depth+1) {
+			f.scopeEnd(body.End(), depth+1)
+			forks = append(forks, f)
+		}
+	}
+	acc := forks[0]
+	for _, f := range forks[1:] {
+		acc.merge(acc.fork(), f)
+	}
+	t.adopt(acc)
+}
+
+// scopeEnd fires when a block at `depth` closes: locals declared at or
+// below that depth go out of scope, and a still-held block there has leaked.
+func (t *tracked) scopeEnd(end token.Pos, depth int) {
+	for v, st := range t.state {
+		if t.declDepth[v] >= depth {
+			if st == held && !t.deferred[v] {
+				t.pass.Reportf(v.Pos(), "block %s not returned to the pool before going out of scope: block leaks", v.Name())
+			}
+			t.untrack(v)
+		}
+	}
+}
+
+// exitCheck fires at explicit returns: every still-held, non-deferred
+// block leaks on this path.
+func (t *tracked) exitCheck(pos token.Pos) {
+	for v, st := range t.state {
+		if st == held && !t.deferred[v] {
+			t.pass.Reportf(pos, "block %s not returned to the pool on this return path: block leaks", v.Name())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/testutil"
+	"repro/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	testutil.Run(t, "testdata/a", poolcheck.Analyzer)
+}

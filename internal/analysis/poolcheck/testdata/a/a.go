@@ -1,0 +1,122 @@
+// Package a is the poolcheck analyzer fixture: the balanced, deferred, and
+// ownership-transfer shapes that must stay silent, and the leak / double-put
+// / use-after-put shapes that must be reported.
+package a
+
+import "repro/internal/trace"
+
+// Balanced is the idiomatic get/use/put sequence: no findings.
+func Balanced() int {
+	b := trace.GetBlock()
+	b.Append(1, 64, 1, 2)
+	n := b.Len()
+	trace.PutBlock(b)
+	return n
+}
+
+// Deferred releases on every exit path.
+func Deferred(cond bool) int {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
+	if cond {
+		return 0
+	}
+	return b.Len()
+}
+
+// BranchBalanced puts on both branches.
+func BranchBalanced(cond bool) {
+	b := trace.GetBlock()
+	if cond {
+		trace.PutBlock(b)
+	} else {
+		trace.PutBlock(b)
+	}
+}
+
+// LoopBalanced acquires and releases per iteration.
+func LoopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		b := trace.GetBlock()
+		b.Append(1, 64, 1, 2)
+		trace.PutBlock(b)
+	}
+}
+
+// Handoff transfers ownership to the callee: not this function's leak.
+func Handoff() {
+	b := trace.GetBlock()
+	consume(b)
+}
+
+func consume(b *trace.Block) { trace.PutBlock(b) }
+
+// Returned transfers ownership to the caller.
+func Returned() *trace.Block {
+	b := trace.GetBlock()
+	return b
+}
+
+// DoublePut returns the same block twice.
+func DoublePut() {
+	b := trace.GetBlock()
+	trace.PutBlock(b)
+	trace.PutBlock(b) // want "block b returned to the pool twice: double PutBlock"
+}
+
+// DeferDouble defers a put and then also puts explicitly.
+func DeferDouble() {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
+	trace.PutBlock(b) // want "block b returned to the pool twice: double PutBlock"
+}
+
+// UseAfterPut touches a released block.
+func UseAfterPut() int {
+	b := trace.GetBlock()
+	trace.PutBlock(b)
+	return b.Len() // want "block b used after PutBlock"
+}
+
+// CapturedUseAfterPut closes over a released block.
+func CapturedUseAfterPut() func() int {
+	b := trace.GetBlock()
+	trace.PutBlock(b)
+	return func() int { return b.Len() } // want "block b captured after PutBlock: use after put"
+}
+
+// LeakOnReturn misses the put on the early path.
+func LeakOnReturn(cond bool) int {
+	b := trace.GetBlock()
+	if cond {
+		return 0 // want "block b not returned to the pool on this return path"
+	}
+	n := b.Len()
+	trace.PutBlock(b)
+	return n
+}
+
+// LeakAtScopeEnd never puts.
+func LeakAtScopeEnd() {
+	b := trace.GetBlock() // want "block b not returned to the pool before going out of scope"
+	b.Append(1, 64, 1, 2)
+}
+
+// Reacquire overwrites a still-held block with a fresh one.
+func Reacquire() {
+	b := trace.GetBlock()
+	b = trace.GetBlock() // want "block b reacquired while still held: previous block leaks"
+	trace.PutBlock(b)
+}
+
+// Overwrite loses the only reference.
+func Overwrite() {
+	b := trace.GetBlock()
+	b = nil // want "block b overwritten while still held: block leaks"
+	_ = b
+}
+
+// Discard drops the GetBlock result on the floor.
+func Discard() {
+	trace.GetBlock() // want "GetBlock result discarded: block leaks"
+}

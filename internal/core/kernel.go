@@ -88,6 +88,8 @@ func (k *AvgVarKernel) Delta() float64 { return k.delta }
 
 // crossInt is the cached-coefficient equivalent of avgVarCrossInt for one
 // flow, taking the precomputed s² and 1/d columns.
+//
+//repro:hotpath
 func (k *AvgVarKernel) crossInt(s2, d, invd float64) float64 {
 	if d < k.delta {
 		return s2 * (k.lt0 - k.lt1*d)
@@ -121,6 +123,8 @@ func (k *AvgVarKernel) AveragedVariance(lambda float64, pop *FlowPop) (float64, 
 // sweep reads the population once. Accumulation order per kernel matches
 // the single-kernel pass exactly, so batched results are bit-identical to
 // repeated AveragedVariance calls.
+//
+//repro:hotpath
 func avgVarSumMulti(ks []*AvgVarKernel, pop *FlowPop, sums []float64) {
 	s2c, dc, uc := pop.S2, pop.D, pop.InvD
 	for i := range s2c {
@@ -148,13 +152,15 @@ func newLSTKernel(b int, theta float64) lstKernel {
 	k := lstKernel{b: b, tb1: theta * float64(b+1)}
 	if b >= 1 {
 		k.inv = 1 / float64(b)
-		k.c = k.inv * math.Pow(k.tb1, -k.inv)
+		k.c = k.inv * math.Pow(k.tb1, -k.inv) //repro:transcendental-ok one-time kernel construction per (b, θ), hoisted off the per-flow path by design
 	}
 	return k
 }
 
 // root returns (d^{b+1}/s)^{1/b}, the flow-dependent factor of the hoisted
 // prefactor, with cheap forms for the paper's b = 1, 2.
+//
+//repro:hotpath
 func (k lstKernel) root(s, d float64) float64 {
 	switch k.b {
 	case 1:
@@ -162,11 +168,14 @@ func (k lstKernel) root(s, d float64) float64 {
 	case 2:
 		return d * math.Sqrt(d/s)
 	default:
+		//repro:transcendental-ok documented b ≥ 3 fallback — d^{b+1}/s has no cheap root; the paper's suite uses b ∈ {0,1,2}
 		return math.Pow(powi(d, k.b+1)/s, k.inv)
 	}
 }
 
 // oneMinusExp is the cached equivalent of lstIntegral for one flow.
+//
+//repro:hotpath
 func (k lstKernel) oneMinusExp(s, d, invd float64) float64 {
 	if !(d > 0) || !(s > 0) || !(k.tb1 > 0) {
 		return 0
@@ -179,6 +188,8 @@ func (k lstKernel) oneMinusExp(s, d, invd float64) float64 {
 
 // expM1 is the log-MGF mirror: ∫₀^D (e^{θx(t)}-1)dt, +Inf when the integral
 // overflows (the Chernoff search treats that as "past the turn").
+//
+//repro:hotpath
 func (k lstKernel) expM1(s, d, invd float64) float64 {
 	if !(d > 0) || !(s > 0) || !(k.tb1 > 0) {
 		return 0

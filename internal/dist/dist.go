@@ -41,6 +41,8 @@ type SamplerN interface {
 // SampleN fills dst from s, using its batched path when implemented and
 // falling back to per-value draws otherwise. Every sampler in this package
 // implements SamplerN; the fallback exists for third-party Samplers.
+//
+//repro:hotpath
 func SampleN(s Sampler, dst []float64, r *rng.Rand) {
 	if sn, ok := s.(SamplerN); ok {
 		sn.SampleN(dst, r)
@@ -60,6 +62,8 @@ type Constant struct {
 func (c Constant) Sample(*rng.Rand) float64 { return c.V }
 
 // SampleN fills dst with V.
+//
+//repro:hotpath
 func (c Constant) SampleN(dst []float64, _ *rng.Rand) {
 	for i := range dst {
 		dst[i] = c.V
@@ -86,6 +90,8 @@ func NewUniform(lo, hi float64) (Uniform, error) {
 func (u Uniform) Sample(r *rng.Rand) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
 
 // SampleN fills dst with uniform draws.
+//
+//repro:hotpath
 func (u Uniform) SampleN(dst []float64, r *rng.Rand) {
 	for i := range dst {
 		dst[i] = u.Lo + (u.Hi-u.Lo)*r.Float64()
@@ -113,6 +119,8 @@ func NewExponential(rate float64) (Exponential, error) {
 func (e Exponential) Sample(r *rng.Rand) float64 { return r.Exp() / e.Rate }
 
 // SampleN fills dst with Exp(Rate) draws.
+//
+//repro:hotpath
 func (e Exponential) SampleN(dst []float64, r *rng.Rand) {
 	for i := range dst {
 		dst[i] = r.Exp() / e.Rate
@@ -155,6 +163,8 @@ func (p Pareto) Sample(r *rng.Rand) float64 {
 }
 
 // SampleN fills dst by inverting the CDF per draw.
+//
+//repro:hotpath
 func (p Pareto) SampleN(dst []float64, r *rng.Rand) {
 	for i := range dst {
 		dst[i] = p.Xm * invPow(1-r.Float64(), 1/p.Alpha)
@@ -214,6 +224,8 @@ func (b BoundedPareto) Sample(r *rng.Rand) float64 {
 }
 
 // SampleN fills dst by inverting the truncated CDF per draw.
+//
+//repro:hotpath
 func (b BoundedPareto) SampleN(dst []float64, r *rng.Rand) {
 	tm, inv := b.params()
 	for i := range dst {
@@ -257,6 +269,8 @@ func (l Lognormal) Sample(r *rng.Rand) float64 {
 }
 
 // SampleN fills dst with lognormal draws.
+//
+//repro:hotpath
 func (l Lognormal) SampleN(dst []float64, r *rng.Rand) {
 	for i := range dst {
 		dst[i] = math.Exp(l.Mu + l.Sigma*r.Norm())
@@ -367,6 +381,8 @@ func (m *Mixture) Sample(r *rng.Rand) float64 {
 // SampleN fills dst, picking a component per slot. Draw order is
 // slot-by-slot (pick, then component draw), identical to len(dst)
 // successive Sample calls.
+//
+//repro:hotpath
 func (m *Mixture) SampleN(dst []float64, r *rng.Rand) {
 	for i := range dst {
 		dst[i] = m.components[m.pick(r)].Sample(r)
@@ -423,6 +439,8 @@ func (p *PoissonProcess) Next() float64 {
 
 // NextN fills dst with the next len(dst) arrival epochs, equivalent to
 // len(dst) successive Next calls.
+//
+//repro:hotpath
 func (p *PoissonProcess) NextN(dst []float64) {
 	for i := range dst {
 		dst[i] = p.Next()

@@ -145,8 +145,18 @@ func (a *Assembler) alloc() int32 {
 	return int32(len(a.states) - 1)
 }
 
+// errOutOfOrder builds the out-of-order-packet error. It lives outside the
+// hot functions so the fmt boxing of its arguments stays off their
+// escape-analysis budget: the caller passes plain float64s and the
+// allocation happens only on the (at most once per stream) failure path.
+func errOutOfOrder(t, last float64) error {
+	return fmt.Errorf("flow: packet out of order: %g after %g", t, last)
+}
+
 // addPacked consumes one packet given its precomputed key triple. Time
 // order was validated by the caller.
+//
+//repro:hotpath
 func (a *Assembler) addPacked(t float64, size uint16, h, ka, kb uint64) {
 	pos, ok := a.table.find(h, ka, kb)
 	if !ok {
@@ -183,9 +193,11 @@ func (a *Assembler) addPacked(t float64, size uint16, h, ka, kb uint64) {
 }
 
 // Add consumes one packet. Packets must arrive in non-decreasing time order.
+//
+//repro:hotpath
 func (a *Assembler) Add(rec trace.Record) error {
 	if a.started && rec.Time < a.lastTime {
-		return fmt.Errorf("flow: packet out of order: %g after %g", rec.Time, a.lastTime)
+		return errOutOfOrder(rec.Time, a.lastTime) //repro:alloc-ok error construction on the malformed-input branch only; no allocation on the in-order path
 	}
 	a.started = true
 	a.lastTime = rec.Time
@@ -199,12 +211,14 @@ func (a *Assembler) Add(rec trace.Record) error {
 // keyA, keyB index-aligned with the block; a Measurer derives them once and
 // shares the derivation across its definitions). Packets must arrive in
 // non-decreasing time order across Add/AddBlock calls.
+//
+//repro:hotpath
 func (a *Assembler) AddBlock(blk *trace.Block, hash, keyA, keyB []uint64) error {
 	n := blk.Len()
 	for j := 0; j < n; j++ {
 		t := blk.Times[j]
 		if a.started && t < a.lastTime {
-			return fmt.Errorf("flow: packet out of order: %g after %g", t, a.lastTime)
+			return errOutOfOrder(t, a.lastTime) //repro:alloc-ok error construction on the malformed-input branch only; no allocation on the in-order path
 		}
 		a.started = true
 		a.lastTime = t

@@ -205,4 +205,3 @@ func synthHeader(id uint32) netpkt.Header {
 		TTL:      64,
 	}
 }
-

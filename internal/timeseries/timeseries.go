@@ -69,6 +69,8 @@ func (b *Binner) Reinit(duration, delta float64) error {
 // Add accounts one packet of the given size at time t (relative to the
 // window origin). Packets outside [0, duration) are ignored; bin boundaries
 // use the convention t ∈ [kΔ, (k+1)Δ).
+//
+//repro:hotpath
 func (b *Binner) Add(t, bits float64) {
 	if t < 0 || t >= b.duration {
 		return
@@ -86,6 +88,8 @@ func (b *Binner) AddRecord(rec trace.Record) { b.Add(rec.Time, rec.Bits()) }
 // AddBlock accounts every packet of a SoA block in one pass over its time
 // and size columns — the batch face the streaming measurement pipeline
 // bins with.
+//
+//repro:hotpath
 func (b *Binner) AddBlock(blk *trace.Block) {
 	for j, t := range blk.Times {
 		b.Add(t, float64(blk.Sizes[j])*8)

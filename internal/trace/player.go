@@ -146,6 +146,8 @@ func (q *bucketQueue) bucketOf(t float64) int {
 // take the O(1) list path; an event landing in the bucket being drained
 // binary-inserts into the sorted remainder (rare: it requires a flow's next
 // packet to follow within the same bucket width).
+//
+//repro:hotpath
 func (q *bucketQueue) push(ev pkEvent) {
 	b := q.bucketOf(ev.time)
 	if b <= q.cur {
@@ -282,6 +284,8 @@ func (q *bucketQueue) collect(b int) bool {
 }
 
 // pop returns the next event of the current bucket, if any.
+//
+//repro:hotpath
 func (q *bucketQueue) pop() (pkEvent, bool) {
 	if q.pos < len(q.scratch) {
 		ev := q.scratch[q.pos]
@@ -421,6 +425,8 @@ func (pl *player) advance() bool {
 
 // step returns the next packet: its generator-clock time, wire size, and
 // flow header. ok is false once the window is exhausted.
+//
+//repro:hotpath
 func (pl *player) step() (t float64, pkt int, hdr netpkt.Header, ok bool) {
 	for {
 		ev, have := pl.q.pop()
@@ -452,6 +458,8 @@ func (pl *player) step() (t float64, pkt int, hdr netpkt.Header, ok bool) {
 
 // play drives step to exhaustion, handing each packet to emit; emit
 // returning false stops early.
+//
+//repro:hotpath
 func (pl *player) play(emit func(t float64, pkt int, hdr netpkt.Header) bool) {
 	for {
 		t, pkt, hdr, ok := pl.step()
