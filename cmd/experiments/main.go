@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/experiments"
@@ -35,8 +37,44 @@ func main() {
 		workers = flag.Int("workers", 0, "interval measurement workers, shared across traces (0 = GOMAXPROCS); output is identical at any count")
 		genWork = flag.Int("genworkers", 1, "packet-synthesis workers per trace producer (<= 1 = serial generator); output is identical at any count")
 		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
+		budget  = flag.Int64("membudget", 0, "cap resident bytes of in-flight measurement blocks (0 = unlimited); producers block when it fills")
+		shed    = flag.Bool("shed", false, "with -membudget: drop intervals under memory pressure instead of blocking the producer (drops are reported)")
 	)
 	flag.Parse()
+
+	// Validate before any work so a typo'd invocation fails in milliseconds
+	// with an actionable message, not after minutes of generation.
+	checkPositive := func(name string, v float64) {
+		if !(v > 0) {
+			fatal(fmt.Errorf("-%s must be > 0, got %g", name, v))
+		}
+	}
+	checkPositive("link", *link)
+	checkPositive("interval", *ivl)
+	checkPositive("perhour", *perHour)
+	checkPositive("delta", *delta)
+	checkPositive("predsec", *predSec)
+	if *maxIvl < 0 {
+		fatal(fmt.Errorf("-maxivl must be >= 0 (0 = paper-proportional), got %d", *maxIvl))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers))
+	}
+	if *genWork < 0 {
+		fatal(fmt.Errorf("-genworkers must be >= 0 (<= 1 = serial generator), got %d", *genWork))
+	}
+	if *budget < 0 {
+		fatal(fmt.Errorf("-membudget must be >= 0 bytes (0 = unlimited), got %d", *budget))
+	}
+	if *shed && *budget == 0 {
+		fatal(fmt.Errorf("-shed needs a -membudget to shed against"))
+	}
+
+	// Ctrl-C cancels the measurement pass cleanly: producers stop, workers
+	// drain, and the run exits with the cancellation error instead of dying
+	// mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ids := []string{
 		"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
@@ -60,10 +98,13 @@ func main() {
 			MaxIntervals:     *maxIvl,
 			Seed:             *seed,
 		},
-		Delta:      *delta,
-		Workers:    *workers,
-		GenWorkers: *genWork,
-		Quiet:      *quiet,
+		Delta:          *delta,
+		Workers:        *workers,
+		GenWorkers:     *genWork,
+		Quiet:          *quiet,
+		Context:        ctx,
+		MemBudgetBytes: *budget,
+		Shed:           *shed,
 	})
 	if err != nil {
 		fatal(err)
@@ -130,6 +171,18 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("nothing to run"))
+	}
+	if *shed {
+		stats, err := r.ShedStats()
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range stats {
+			if s.Intervals > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %s: shed %d intervals (%d records) under memory pressure\n",
+					s.Trace, s.Intervals, s.Records)
+			}
+		}
 	}
 }
 

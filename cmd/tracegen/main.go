@@ -36,6 +36,30 @@ func main() {
 	if *out == "" {
 		fatal(fmt.Errorf("-o is required"))
 	}
+	if *duration < 0 {
+		fatal(fmt.Errorf("-duration must be >= 0 (0 = suite mode), got %g", *duration))
+	}
+	if *duration > 0 && !(*lambda > 0) {
+		fatal(fmt.Errorf("-lambda must be > 0 in custom mode, got %g", *lambda))
+	}
+	if *b < 0 {
+		fatal(fmt.Errorf("-b must be >= 0 (0 rect, 1 tri, 2 parabolic), got %g", *b))
+	}
+	if !(*link > 0) {
+		fatal(fmt.Errorf("-link must be > 0 bit/s, got %g", *link))
+	}
+	if !(*ivl > 0) {
+		fatal(fmt.Errorf("-interval must be > 0 seconds, got %g", *ivl))
+	}
+	if *maxIvl < 1 {
+		fatal(fmt.Errorf("-maxivl must be >= 1 interval, got %d", *maxIvl))
+	}
+	if *warmup < 0 {
+		fatal(fmt.Errorf("-warmup must be >= 0 seconds, got %g", *warmup))
+	}
+	if *genWork < 0 {
+		fatal(fmt.Errorf("-genworkers must be >= 0 (<= 1 = serial generator), got %d", *genWork))
+	}
 
 	var cfg trace.Config
 	if *duration > 0 {

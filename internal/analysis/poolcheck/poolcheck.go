@@ -239,14 +239,14 @@ func (t *tracked) stmt(s ast.Stmt, depth int) (terminated bool) {
 		if s.Tag != nil {
 			t.expr(s.Tag)
 		}
-		t.cases(s.Body, depth)
+		t.cases(s.Body, depth, true)
 	case *ast.TypeSwitchStmt:
 		if s.Init != nil {
 			t.stmt(s.Init, depth)
 		}
-		t.cases(s.Body, depth)
+		t.cases(s.Body, depth, true)
 	case *ast.SelectStmt:
-		t.cases(s.Body, depth)
+		return t.cases(s.Body, depth, false)
 	case *ast.GoStmt:
 		// The goroutine may run at any time; everything it can reach
 		// escapes.
@@ -520,9 +520,17 @@ func (t *tracked) loopBody(body *ast.BlockStmt, depth int) {
 }
 
 // cases analyzes each case clause of a switch/select body as an alternative
-// branch and merges all of them conservatively.
-func (t *tracked) cases(body *ast.BlockStmt, depth int) {
-	forks := []*tracked{t.fork()} // the implicit no-case-taken path
+// branch and merges all of them conservatively. implicit reports whether
+// control can skip every clause (a switch need not match any case); a
+// select always executes exactly one of its clauses, so it has no implicit
+// path — which makes the cancellation-unwind idiom (send the block in one
+// clause, PutBlock it in the ctx.Done clause) correctly silent, and lets a
+// select whose every clause exits terminate the statement.
+func (t *tracked) cases(body *ast.BlockStmt, depth int, implicit bool) (terminated bool) {
+	var forks []*tracked
+	if implicit {
+		forks = append(forks, t.fork()) // the no-case-taken path
+	}
 	for _, c := range body.List {
 		f := t.fork()
 		var list []ast.Stmt
@@ -543,11 +551,18 @@ func (t *tracked) cases(body *ast.BlockStmt, depth int) {
 			forks = append(forks, f)
 		}
 	}
+	if len(forks) == 0 {
+		// Every clause exits and there is no fall-through path: the
+		// statement terminates (e.g. a select whose clauses all return,
+		// or the blocks-forever empty select).
+		return true
+	}
 	acc := forks[0]
 	for _, f := range forks[1:] {
 		acc.merge(acc.fork(), f)
 	}
 	t.adopt(acc)
+	return false
 }
 
 // scopeEnd fires when a block at `depth` closes: locals declared at or

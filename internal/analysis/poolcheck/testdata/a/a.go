@@ -120,3 +120,70 @@ func Overwrite() {
 func Discard() {
 	trace.GetBlock() // want "GetBlock result discarded: block leaks"
 }
+
+// ShipOrCancel is the cancellation-unwind idiom of the streaming spine:
+// the block is either sent (ownership transfers to the consumer) or, when
+// the done channel fires first, recycled before the error return. Silent —
+// a select always takes one of its clauses, so there is no path on which
+// the block is still held afterwards.
+func ShipOrCancel(out chan<- *trace.Block, done <-chan struct{}) bool {
+	b := trace.GetBlock()
+	b.Append(1, 64, 1, 2)
+	select {
+	case out <- b:
+	case <-done:
+		trace.PutBlock(b)
+		return false
+	}
+	return true
+}
+
+// ShipBoth exits inside both clauses; the select terminates the function,
+// so the held-at-entry block must not be flagged at scope end.
+func ShipBoth(out chan<- *trace.Block, done <-chan struct{}) bool {
+	b := trace.GetBlock()
+	select {
+	case out <- b:
+		return true
+	case <-done:
+		trace.PutBlock(b)
+		return false
+	}
+}
+
+// TryShip is the shed-mode fast path: non-blocking send, recycle on the
+// default clause. Silent.
+func TryShip(out chan<- *trace.Block) bool {
+	b := trace.GetBlock()
+	select {
+	case out <- b:
+		return true
+	default:
+		trace.PutBlock(b)
+		return false
+	}
+}
+
+// ShipCancelLeak forgets to recycle on the cancellation path.
+func ShipCancelLeak(out chan<- *trace.Block, done <-chan struct{}) bool {
+	b := trace.GetBlock()
+	select {
+	case out <- b:
+	case <-done:
+		return false // want "block b not returned to the pool on this return path"
+	}
+	return true
+}
+
+// ShipCancelDoublePut recycles in the done clause and then again on the
+// shared fall-through path.
+func ShipCancelDoublePut(out chan<- *trace.Block, done <-chan struct{}) {
+	b := trace.GetBlock()
+	select {
+	case out <- b:
+		return
+	case <-done:
+		trace.PutBlock(b)
+	}
+	trace.PutBlock(b) // want "block b returned to the pool twice: double PutBlock"
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/membudget"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
@@ -51,11 +53,33 @@ type Options struct {
 	// Quiet suppresses per-point output, keeping only summaries (used by
 	// benchmarks).
 	Quiet bool
+	// Context, when non-nil, bounds the whole measurement pass: on
+	// cancellation producers stop generating, workers drain and recycle
+	// their in-flight blocks, and the pass returns an error wrapping the
+	// context's error. nil means run to completion.
+	Context context.Context
+	// MemBudgetBytes, when positive, caps the resident bytes of in-flight
+	// partitioned blocks across the whole pass. Producers block when the
+	// budget is full (backpressure; output is unchanged) unless Shed is set.
+	MemBudgetBytes int64
+	// Shed switches the memory budget from backpressure to load shedding:
+	// a producer that cannot reserve a block drops the rest of that
+	// interval, the interval's stream is flagged, its statistics are
+	// skipped, and the drop is counted in ShedStats — output is explicitly
+	// missing rather than silently wrong.
+	Shed bool
 	// blockSize overrides the record count of the SoA blocks the interval
 	// partitioner emits (0 = trace.BlockSize). Output is byte-identical at
 	// any size; the determinism tests set it to stress block-boundary
 	// handling in the batch measurement path.
 	blockSize int
+	// wrapBlocks, when set, interposes on each trace producer's block
+	// stream (stage name = trace name) — the fault-injection hook of the
+	// chaos tests. Must preserve the callback's contract when it forwards.
+	wrapBlocks func(stage string, fn func(*trace.Block) error) func(*trace.Block) error
+	// wrapBudget, when set, interposes on the pass's memory budget — the
+	// allocation-failure hook of the chaos tests.
+	wrapBudget func(membudget.Reserver) membudget.Reserver
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +139,7 @@ type Runner struct {
 	// Lazily computed.
 	stats     []IntervalStat
 	summaries []trace.Summary
+	shed      []TraceShed
 	// reference holds the flow measurements of one designated interval
 	// (trace 1, interval 0) for the single-interval figures (1, 3-6, 8).
 	// Its packets are not buffered: RefInterval hands out a replayable
@@ -201,6 +226,20 @@ type traceResult struct {
 	// Reference-interval capture (trace 1, interval 0 only).
 	refRes5 flow.Result
 	refResP flow.Result
+	// Load-shedding accounting, read from the producer's partitioner after
+	// it closes.
+	shedIntervals int64
+	shedRecords   int64
+}
+
+// TraceShed is one trace's load-shedding report: how many of its intervals
+// were dropped (wholly or partially) under memory pressure, and how many
+// records those drops lost. All zeros unless Options.Shed was set and the
+// budget actually filled.
+type TraceShed struct {
+	Trace     string
+	Intervals int64
+	Records   int64
 }
 
 // intervalTask is one (trace, interval) unit of the two-level scheduler.
@@ -227,6 +266,21 @@ type intervalTask struct {
 func (r *Runner) measureSuite() error {
 	if r.measured {
 		return nil
+	}
+	ctx := r.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var budget membudget.Reserver
+	if r.opts.MemBudgetBytes > 0 {
+		b, err := membudget.New(r.opts.MemBudgetBytes)
+		if err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+		budget = b
+	}
+	if r.opts.wrapBudget != nil {
+		budget = r.opts.wrapBudget(budget)
 	}
 	workers := r.opts.Workers
 	if workers <= 0 {
@@ -275,6 +329,21 @@ func (r *Runner) measureSuite() error {
 	taskErrs := make([]error, len(r.specs))
 	var taskErrMu sync.Mutex
 	var aborted atomic.Bool
+	// Cancellation folds into the pass's existing abort machinery: producers
+	// and workers already check aborted between units, and the blocking
+	// points inside a unit (generator sends, partitioner sends, budget
+	// reservations) watch ctx directly.
+	stopWatch := context.AfterFunc(ctx, func() { aborted.Store(true) })
+	defer stopWatch()
+
+	recordTaskErr := func(ti int, err error) {
+		taskErrMu.Lock()
+		if taskErrs[ti] == nil {
+			taskErrs[ti] = err
+		}
+		taskErrMu.Unlock()
+		aborted.Store(true)
+	}
 
 	var taskWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -290,23 +359,31 @@ func (r *Runner) measureSuite() error {
 			binner := &timeseries.Binner{}
 			pop := &core.FlowPop{}
 			for tk := range tasks {
-				if aborted.Load() {
-					// Still drain the stream: its producer may be blocked
-					// mid-send on the buffer.
-					for range tk.stream.Blocks() {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							// A panicking measurement must not take the pass
+							// down: convert to an error, doom the pass, and
+							// finish draining the stream (the iterator's own
+							// unwind already recycled what it had in hand)
+							// so the producer is never left blocked.
+							recordTaskErr(tk.ti, fmt.Errorf("interval %d: measurement panicked: %v", tk.stream.Index, rec))
+							for range tk.stream.Blocks() {
+							}
+						}
+						<-inflight
+					}()
+					if aborted.Load() {
+						// Still drain the stream: its producer may be blocked
+						// mid-send on the buffer.
+						for range tk.stream.Blocks() {
+						}
+						return
 					}
-					<-inflight
-					continue
-				}
-				if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner, meas, pop); err != nil {
-					taskErrMu.Lock()
-					if taskErrs[tk.ti] == nil {
-						taskErrs[tk.ti] = fmt.Errorf("interval %d: %w", tk.stream.Index, err)
+					if err := r.measureInterval(tk.ti, tk.stream, results[tk.ti], binner, meas, pop); err != nil {
+						recordTaskErr(tk.ti, fmt.Errorf("interval %d: %w", tk.stream.Index, err))
 					}
-					taskErrMu.Unlock()
-					aborted.Store(true)
-				}
-				<-inflight
+				}()
 			}
 		}()
 	}
@@ -325,7 +402,7 @@ func (r *Runner) measureSuite() error {
 					prodErrs[ti] = errAborted
 					continue
 				}
-				summary, err := r.produceTrace(ti, r.specs[ti], tasks, inflight, &aborted)
+				summary, err := r.produceTrace(ctx, ti, r.specs[ti], budget, tasks, inflight, &aborted, results[ti])
 				results[ti].summary = summary
 				if err != nil {
 					prodErrs[ti] = err
@@ -357,8 +434,19 @@ func (r *Runner) measureSuite() error {
 	if firstErr != nil {
 		return fmt.Errorf("experiments: measuring %s: %w", firstName, firstErr)
 	}
+	// Cancellation can abort the pass between per-trace error slots (e.g.
+	// after every started trace finished); never report a cancelled pass as
+	// a clean one.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("experiments: measurement pass cancelled: %w", err)
+	}
 	for ti, tr := range results {
 		r.summaries = append(r.summaries, tr.summary)
+		r.shed = append(r.shed, TraceShed{
+			Trace:     r.specs[ti].Name,
+			Intervals: tr.shedIntervals,
+			Records:   tr.shedRecords,
+		})
 		for di := range suiteDefs {
 			for _, slots := range tr.stats {
 				if s := slots[di]; s != nil {
@@ -380,9 +468,23 @@ func (r *Runner) measureSuite() error {
 // sub-stream as a task the moment it opens. It blocks when its current
 // interval's buffer fills, so generation never outruns measurement by more
 // than the buffer.
-func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- intervalTask, inflight chan struct{}, aborted *atomic.Bool) (trace.Summary, error) {
+func (r *Runner) produceTrace(ctx context.Context, ti int, spec trace.TraceSpec, budget membudget.Reserver, tasks chan<- intervalTask, inflight chan struct{}, aborted *atomic.Bool, tr *traceResult) (sum trace.Summary, err error) {
 	cfg := suiteConfig(spec)
-	part, err := flow.NewIntervalPartitioner(spec.IntervalSec, cfg.Duration, intervalStreamBuffer,
+	var part *flow.IntervalPartitioner
+	// A panic anywhere in this producer (generator, partitioner, a faulty
+	// injected wrapper) must not take the process down with workers still
+	// live: convert it to an error and tear the partitioner down so every
+	// handed-off stream still terminates.
+	defer func() {
+		if rec := recover(); rec != nil {
+			if part != nil {
+				part.Abort()
+				tr.shedIntervals, tr.shedRecords = part.ShedStats()
+			}
+			err = fmt.Errorf("producing trace: panic: %v", rec)
+		}
+	}()
+	part, err = flow.NewIntervalPartitioner(spec.IntervalSec, cfg.Duration, intervalStreamBuffer,
 		func(is *flow.IntervalStream) error {
 			// Bail out between intervals once the pass is doomed, instead
 			// of generating the rest of a long trace nobody will read.
@@ -401,18 +503,33 @@ func (r *Runner) produceTrace(ti int, spec trace.TraceSpec, tasks chan<- interva
 			return trace.Summary{}, err
 		}
 	}
+	if err := part.SetContext(ctx); err != nil {
+		return trace.Summary{}, err
+	}
+	if budget != nil {
+		if err := part.SetBudget(budget, r.opts.Shed); err != nil {
+			return trace.Summary{}, err
+		}
+	}
+	sink := part.AddBlock
+	if r.opts.wrapBlocks != nil {
+		sink = r.opts.wrapBlocks(spec.Name, sink)
+	}
 	// The generation workers synthesise timeline shards concurrently and
 	// feed the partitioner one merged, time-ordered, bit-identical block
 	// stream — the partitioner cannot tell it apart from the serial
 	// generator's.
-	sum, err := trace.StreamParallelBlocks(cfg, r.opts.GenWorkers, part.AddBlock)
+	sum, err = trace.StreamParallelBlocksCtx(ctx, cfg, r.opts.GenWorkers, sink)
 	if err != nil {
 		part.Abort()
+		tr.shedIntervals, tr.shedRecords = part.ShedStats()
 		return sum, err
 	}
 	if err := part.Close(); err != nil {
+		tr.shedIntervals, tr.shedRecords = part.ShedStats()
 		return sum, err
 	}
+	tr.shedIntervals, tr.shedRecords = part.ShedStats()
 	return sum, nil
 }
 
@@ -443,6 +560,12 @@ func (r *Runner) measureInterval(ti int, is *flow.IntervalStream, tr *traceResul
 	}
 	if addErr != nil {
 		return addErr
+	}
+	if is.Shed() {
+		// The producer dropped part (or all) of this interval under memory
+		// pressure: its measurements would be silently wrong, so the point
+		// is skipped and the drop stays visible through ShedStats.
+		return nil
 	}
 	results := meas.Flush()
 	link := r.linkBps()
@@ -574,6 +697,16 @@ func (r *Runner) Summaries() ([]trace.Summary, error) {
 		return nil, err
 	}
 	return r.summaries, nil
+}
+
+// ShedStats returns the per-trace load-shedding report of the measurement
+// pass — which traces dropped intervals under memory pressure, and how
+// many records each drop lost. All-zero entries mean nothing was shed.
+func (r *Runner) ShedStats() ([]TraceShed, error) {
+	if err := r.measureSuite(); err != nil {
+		return nil, err
+	}
+	return r.shed, nil
 }
 
 // sep prints a section separator.

@@ -6,8 +6,9 @@
 // and flows are split at analysis-interval boundaries.
 //
 // The assembler consumes packets in timestamp order (what a passive monitor
-// sees) and runs in O(active flows) memory, evicting idle flows with a
-// periodic sweep, so multi-hour traces stream through it.
+// sees) and runs in O(active flows) memory, evicting idle flows with an
+// incremental expiry sweep amortised over the packet stream, so multi-hour
+// traces stream through it without periodic full-table pauses.
 package flow
 
 import (
@@ -102,10 +103,26 @@ type Assembler struct {
 	states    []flowState
 	freeSlots []int32
 	res       Result
-	lastSweep float64
 	lastTime  float64
 	started   bool
+	// sweepDebt counts packets since the last expiry step; every sweepEvery
+	// packets the assembler sweeps sweepStride table positions — the
+	// incremental replacement of the old full-table periodic sweep.
+	sweepDebt int
+	// evict finalises one idle flow during a sweep step. Built once at
+	// construction so the hot path passes a stored func value instead of
+	// allocating a closure per call.
+	evict func(slot int32)
 }
+
+// Incremental expiry tuning: one sweepStride-position step per sweepEvery
+// packets is 2 positions of sweep work per packet amortised, which rotates
+// the whole table well inside a timeout window at any realistic packet rate
+// while keeping each step's latency trivially small.
+const (
+	sweepEvery  = 64
+	sweepStride = 128
+)
 
 // NewAssembler returns a streaming assembler for one flow definition;
 // timeout must be positive (use DefaultTimeout for the paper's 60 s).
@@ -118,6 +135,10 @@ func NewAssembler(def Definition, timeout float64) (*Assembler, error) {
 	}
 	a := &Assembler{def: def, timeout: timeout}
 	a.table.reset()
+	a.evict = func(slot int32) {
+		a.finish(&a.states[slot])
+		a.freeSlots = append(a.freeSlots, slot)
+	}
 	return a, nil
 }
 
@@ -129,9 +150,9 @@ func (a *Assembler) Reset() {
 	a.states = a.states[:0]
 	a.freeSlots = a.freeSlots[:0]
 	a.res = Result{}
-	a.lastSweep = 0
 	a.lastTime = 0
 	a.started = false
+	a.sweepDebt = 0
 }
 
 // alloc returns a free slab slot.
@@ -161,7 +182,7 @@ func (a *Assembler) addPacked(t float64, size uint16, h, ka, kb uint64) {
 	pos, ok := a.table.find(h, ka, kb)
 	if !ok {
 		slot := a.alloc()
-		a.table.insert(pos, h, ka, kb, slot)
+		pos = a.table.insert(pos, h, ka, kb, slot)
 		a.states[slot] = flowState{
 			start: t, last: t,
 			bytes: int64(size), packets: 1,
@@ -184,11 +205,13 @@ func (a *Assembler) addPacked(t float64, size uint16, h, ka, kb uint64) {
 			st.packets++
 		}
 	}
-	// Periodic sweep: evict flows idle past the timeout so memory stays
-	// bounded by the number of genuinely active flows.
-	if t-a.lastSweep > a.timeout {
-		a.sweep(t)
-		a.lastSweep = t
+	a.table.last[pos] = t
+	// Incremental expiry: a bounded sweep step every sweepEvery packets
+	// keeps memory bounded by the genuinely active flows without the
+	// latency spike of a full-table pass.
+	if a.sweepDebt++; a.sweepDebt >= sweepEvery {
+		a.sweepDebt = 0
+		a.table.sweepExpired(t-a.timeout, sweepStride, a.evict)
 	}
 }
 
@@ -225,32 +248,6 @@ func (a *Assembler) AddBlock(blk *trace.Block, hash, keyA, keyB []uint64) error 
 		a.addPacked(t, blk.Sizes[j], hash[j], keyA[j], keyB[j])
 	}
 	return nil
-}
-
-// sweep walks the table evicting idle flows. Backward-shift deletion can
-// move a not-yet-visited entry into the current position, so the position
-// is re-examined after a delete. A deletion chain that wraps the table
-// boundary can park an unvisited entry in the already-swept region; such
-// an idle flow merely survives until the next sweep or Flush — finish()
-// produces the identical record whenever it runs, so only the transient
-// memory bound is affected, never the results.
-func (a *Assembler) sweep(now float64) {
-	tb := &a.table
-	for i := uint64(0); i < uint64(len(tb.hash)); {
-		if tb.hash[i] == 0 {
-			i++
-			continue
-		}
-		slot := tb.slot[i]
-		st := &a.states[slot]
-		if now-st.last > a.timeout {
-			a.finish(st)
-			a.freeSlots = append(a.freeSlots, slot)
-			tb.del(i)
-			continue
-		}
-		i++
-	}
 }
 
 func (a *Assembler) finish(st *flowState) {

@@ -1,9 +1,11 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"iter"
 
+	"repro/internal/membudget"
 	"repro/internal/trace"
 )
 
@@ -17,7 +19,31 @@ type IntervalStream struct {
 	Index  int
 	Start  float64
 	blocks chan *trace.Block
+	// budget/blockBytes mirror the producing partitioner's accounting: the
+	// consumer releases each block's reservation when it recycles the block.
+	budget     membudget.Reserver
+	blockBytes int64
+	// shed is set by the producer before the stream closes when the
+	// interval was dropped (fully or from some point on) under memory
+	// pressure; the channel close orders the write before any consumer
+	// read through Shed.
+	shed bool
 }
+
+// put recycles one delivered block and releases its budget reservation.
+func (is *IntervalStream) put(b *trace.Block) {
+	trace.PutBlock(b)
+	if is.budget != nil {
+		is.budget.Release(is.blockBytes)
+	}
+}
+
+// Shed reports whether the producer dropped this interval (wholly, or from
+// some record on) under load-shedding. Only valid after the stream has been
+// fully drained — a consumer must discard the interval's measurements when
+// it returns true, and account the interval as dropped, so shed output is
+// explicitly missing rather than silently wrong.
+func (is *IntervalStream) Shed() bool { return is.shed }
 
 // Blocks returns the interval's packets in time order, interval-local, one
 // SoA block at a time. The sequence is single-use and must be ranged to
@@ -25,15 +51,30 @@ type IntervalStream struct {
 // producing partitioner never blocks on an abandoned stream). Blocks are
 // recycled after the consumer has seen them, so a consumer must not retain
 // a block or its columns past its yield (copying out values is fine).
+// The drain-and-recycle guarantee holds even when the consumer panics out
+// of the loop body: the in-hand block and the channel remainder are
+// released on the way out, so a recovered panic leaks neither pool blocks
+// nor a blocked producer.
 func (is *IntervalStream) Blocks() iter.Seq[*trace.Block] {
 	return func(yield func(*trace.Block) bool) {
+		var cur *trace.Block
+		defer func() {
+			// Unwind path (panic in yield, or early break): recycle the
+			// in-hand block and drain the remainder so the producer is
+			// never left blocked mid-send.
+			if cur != nil {
+				is.put(cur)
+			}
+			for b := range is.blocks {
+				is.put(b)
+			}
+		}()
 		for blk := range is.blocks {
+			cur = blk
 			ok := yield(blk)
-			trace.PutBlock(blk)
+			cur = nil
+			is.put(blk)
 			if !ok {
-				for b := range is.blocks {
-					trace.PutBlock(b)
-				}
 				return
 			}
 		}
@@ -41,23 +82,30 @@ func (is *IntervalStream) Blocks() iter.Seq[*trace.Block] {
 }
 
 // Records returns the interval's packets in time order, interval-local —
-// the record-at-a-time view over the block stream. Same single-use and
-// no-retention contract as Blocks (records are values; copying fields is
-// fine).
+// the record-at-a-time view over the block stream. Same single-use,
+// no-retention and panic-safe drain contract as Blocks (records are
+// values; copying fields is fine).
 func (is *IntervalStream) Records() iter.Seq[trace.Record] {
 	return func(yield func(trace.Record) bool) {
+		var cur *trace.Block
+		defer func() {
+			if cur != nil {
+				is.put(cur)
+			}
+			for b := range is.blocks {
+				is.put(b)
+			}
+		}()
 		for blk := range is.blocks {
+			cur = blk
 			n := blk.Len()
 			for i := 0; i < n; i++ {
 				if !yield(blk.Record(i)) {
-					trace.PutBlock(blk)
-					for b := range is.blocks {
-						trace.PutBlock(b)
-					}
 					return
 				}
 			}
-			trace.PutBlock(blk)
+			cur = nil
+			is.put(blk)
 		}
 	}
 }
@@ -87,6 +135,25 @@ type IntervalPartitioner struct {
 	cur       *IntervalStream
 	pend      *trace.Block // current interval's not-yet-sent block
 	closed    bool
+
+	// ctx, when set, bounds every blocking point (stream sends, budget
+	// reservations) so a cancelled pipeline unwinds instead of wedging on a
+	// vanished consumer. done caches ctx.Done() for the send fast path.
+	ctx  context.Context
+	done <-chan struct{}
+
+	// budget, when set, charges blockBytes per in-flight block: reserved
+	// when a pending block is taken from the pool, released by the consumer
+	// on recycle (ownership of the reservation travels with the block).
+	budget     membudget.Reserver
+	blockBytes int64
+	// shedMode picks the under-pressure policy: false blocks the producer
+	// (backpressure, exact output), true drops the rest of the current
+	// interval and accounts for it.
+	shedMode      bool
+	curShed       bool // current interval has dropped records
+	shedIntervals int64
+	shedRecords   int64
 }
 
 // NewIntervalPartitioner builds a partitioner over intervals of intervalSec.
@@ -131,7 +198,49 @@ func (p *IntervalPartitioner) SetBlockSize(n int) error {
 		return fmt.Errorf("flow: block size must be set before the first packet")
 	}
 	p.blockSize = n
+	if p.budget != nil {
+		p.blockBytes = trace.BlockCost(n)
+	}
 	return nil
+}
+
+// SetContext bounds the partitioner's blocking points (full-stream sends,
+// budget reservations) by ctx: once ctx is cancelled they fail with a
+// wrapped ctx error instead of blocking on a consumer that may never drain.
+// Must be called before the first packet.
+func (p *IntervalPartitioner) SetContext(ctx context.Context) error {
+	if p.cur != nil || p.closed {
+		return fmt.Errorf("flow: context must be set before the first packet")
+	}
+	if ctx == nil {
+		return fmt.Errorf("flow: nil context")
+	}
+	p.ctx = ctx
+	p.done = ctx.Done()
+	return nil
+}
+
+// SetBudget charges each in-flight block's byte cost against r. With shed
+// false the producer blocks in Reserve until the consumer frees room —
+// bounded memory, exact output. With shed true a failed TryReserve drops
+// the rest of the current interval, marks its stream Shed, and counts the
+// drop (ShedStats) — bounded memory and bounded producer latency, at the
+// price of explicitly-missing intervals. Must be called before the first
+// packet.
+func (p *IntervalPartitioner) SetBudget(r membudget.Reserver, shed bool) error {
+	if p.cur != nil || p.closed {
+		return fmt.Errorf("flow: budget must be set before the first packet")
+	}
+	p.budget = r
+	p.shedMode = shed
+	p.blockBytes = trace.BlockCost(p.blockSize)
+	return nil
+}
+
+// ShedStats reports how many intervals were marked shed and how many
+// records were dropped in them. Only meaningful after Close or Abort.
+func (p *IntervalPartitioner) ShedStats() (intervals, records int64) {
+	return p.shedIntervals, p.shedRecords
 }
 
 // open starts the stream of the clock's current interval and hands it off.
@@ -141,42 +250,135 @@ func (p *IntervalPartitioner) open() error {
 		cap = 1
 	}
 	s := &IntervalStream{
-		Index:  p.clock.cur,
-		Start:  p.clock.origin(),
-		blocks: make(chan *trace.Block, cap),
+		Index:      p.clock.cur,
+		Start:      p.clock.origin(),
+		blocks:     make(chan *trace.Block, cap),
+		budget:     p.budget,
+		blockBytes: p.blockBytes,
 	}
 	p.cur = s
 	return p.handoff(s)
 }
 
-// flushPend sends the current interval's pending block; the consumer owns
-// the sent block, so the next one starts fresh from the pool.
-func (p *IntervalPartitioner) flushPend() {
-	if p.pend != nil && p.pend.Len() > 0 {
-		p.cur.blocks <- p.pend
-		p.pend = nil
+// ship sends blk into the current interval's stream, honouring
+// cancellation: a blocked send unblocks (recycling blk and its
+// reservation) when the partitioner's context is cancelled. Ownership of
+// the block — and of its budget reservation — transfers to the consumer
+// on success.
+func (p *IntervalPartitioner) ship(blk *trace.Block) error {
+	if p.done == nil {
+		p.cur.blocks <- blk
+		return nil
+	}
+	select {
+	case p.cur.blocks <- blk:
+		return nil
+	default:
+	}
+	select {
+	case p.cur.blocks <- blk:
+		return nil
+	case <-p.done:
+		p.dropPendBlock(blk)
+		return fmt.Errorf("flow: partition of interval %d cancelled: %w", p.clock.cur, p.ctx.Err())
 	}
 }
 
-// advance closes the current interval's stream and opens the next.
+// dropPendBlock recycles an unsent block along with its reservation.
+func (p *IntervalPartitioner) dropPendBlock(blk *trace.Block) {
+	trace.PutBlock(blk)
+	if p.budget != nil {
+		p.budget.Release(p.blockBytes)
+	}
+}
+
+// takePend ensures a pending block exists, reserving its byte cost first.
+// In shed mode a failed reservation marks the interval shed and returns
+// false — the caller drops the record; errors only arise from cancellation
+// while blocked in Reserve.
+func (p *IntervalPartitioner) takePend() (bool, error) {
+	if p.pend != nil {
+		return true, nil
+	}
+	if p.budget != nil {
+		if p.shedMode {
+			if !p.budget.TryReserve(p.blockBytes) {
+				p.curShed = true
+				return false, nil
+			}
+		} else {
+			ctx := p.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			if err := p.budget.Reserve(ctx, p.blockBytes); err != nil {
+				return false, fmt.Errorf("flow: partition of interval %d: %w", p.clock.cur, err)
+			}
+		}
+	}
+	p.pend = trace.GetBlock()
+	return true, nil
+}
+
+// flushPend sends the current interval's pending block; the consumer owns
+// the sent block, so the next one starts fresh from the pool.
+func (p *IntervalPartitioner) flushPend() error {
+	if p.pend != nil && p.pend.Len() > 0 {
+		blk := p.pend
+		p.pend = nil
+		return p.ship(blk)
+	}
+	if p.pend != nil {
+		p.dropPendBlock(p.pend)
+		p.pend = nil
+	}
+	return nil
+}
+
+// advance closes the current interval's stream and opens the next,
+// finalising the closing interval's shed mark first (the close orders the
+// mark before any consumer's post-drain read).
 func (p *IntervalPartitioner) advance() error {
-	p.flushPend()
+	err := p.flushPend()
+	if p.curShed {
+		p.cur.shed = true
+		p.shedIntervals++
+		p.curShed = false
+	}
 	close(p.cur.blocks)
+	if err != nil {
+		// The stream is already closed; clear cur so the caller's Abort
+		// does not close it twice.
+		p.cur = nil
+		return err
+	}
 	p.clock.cur++
 	return p.open()
 }
 
 // append adds one rebased packet to the pending block, shipping it when
-// full.
-func (p *IntervalPartitioner) append(t float64, size uint16, src, dst uint64) {
-	if p.pend == nil {
-		p.pend = trace.GetBlock()
+// full. In shed mode a packet landing in a shed interval is dropped and
+// counted.
+func (p *IntervalPartitioner) append(t float64, size uint16, src, dst uint64) error {
+	if p.curShed {
+		p.shedRecords++
+		return nil
+	}
+	ok, err := p.takePend()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		p.shedRecords++
+		return nil
 	}
 	p.pend.Append(t, size, src, dst)
 	if p.pend.Len() >= p.blockSize {
-		p.cur.blocks <- p.pend
+		blk := p.pend
 		p.pend = nil
+		return p.ship(blk)
 	}
+	return nil
 }
 
 // Add routes one packet into its interval's sub-stream, opening (and closing)
@@ -199,8 +401,7 @@ func (p *IntervalPartitioner) Add(rec trace.Record) error {
 		}
 	}
 	src, dst := rec.Hdr.Packed()
-	p.append(rec.Time-p.clock.origin(), rec.Hdr.TotalLen, src, dst)
-	return nil
+	return p.append(rec.Time-p.clock.origin(), rec.Hdr.TotalLen, src, dst)
 }
 
 // AddBlock routes a whole SoA block, splitting it at interval boundaries:
@@ -230,8 +431,17 @@ func (p *IntervalPartitioner) AddBlock(blk *trace.Block) error {
 		}
 		origin := p.clock.origin()
 		for i := j; i < k; {
-			if p.pend == nil {
-				p.pend = trace.GetBlock()
+			if p.curShed {
+				p.shedRecords += int64(k - i)
+				break
+			}
+			ok, err := p.takePend()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				p.shedRecords += int64(k - i)
+				break
 			}
 			take := p.blockSize - p.pend.Len()
 			if rem := k - i; rem < take {
@@ -240,8 +450,11 @@ func (p *IntervalPartitioner) AddBlock(blk *trace.Block) error {
 			p.pend.AppendRebased(blk, i, i+take, origin)
 			i += take
 			if p.pend.Len() >= p.blockSize {
-				p.cur.blocks <- p.pend
+				full := p.pend
 				p.pend = nil
+				if err := p.ship(full); err != nil {
+					return err
+				}
 			}
 		}
 		j = k
@@ -274,11 +487,16 @@ func (p *IntervalPartitioner) Close() error {
 			return err
 		}
 	}
-	p.flushPend()
+	err := p.flushPend()
+	if p.curShed {
+		p.cur.shed = true
+		p.shedIntervals++
+		p.curShed = false
+	}
 	close(p.cur.blocks)
 	p.cur = nil
 	p.closed = true
-	return nil
+	return err
 }
 
 // Abort closes the in-flight interval's stream without emitting the rest,
@@ -291,9 +509,20 @@ func (p *IntervalPartitioner) Abort() {
 		return
 	}
 	if p.cur != nil {
-		p.flushPend()
+		// Best-effort delivery of the trailing partial block; under
+		// cancellation ship drops it (recycled, reservation released)
+		// rather than blocking on a consumer that may be unwinding too.
+		_ = p.flushPend()
+		if p.curShed {
+			p.cur.shed = true
+			p.shedIntervals++
+			p.curShed = false
+		}
 		close(p.cur.blocks)
 		p.cur = nil
+	} else if p.pend != nil {
+		p.dropPendBlock(p.pend)
+		p.pend = nil
 	}
 	p.closed = true
 }

@@ -75,9 +75,17 @@ type flowTable struct {
 	keyA []uint64
 	keyB []uint64
 	slot []int32
+	// last holds each occupied position's last-seen timestamp — a copy of
+	// the flow state's `last` field kept columnar so the idle-expiry sweep
+	// scans one flat float64 array instead of chasing slab slots.
+	last []float64
 	mask uint64
 	n    int // occupied positions
 	grow int // occupancy that triggers a doubling
+	// sweepPos is the rotating cursor of sweepExpired: each call resumes
+	// where the previous one stopped, so expiry cost is spread across the
+	// packet stream instead of paid in one full-table pass.
+	sweepPos uint64
 }
 
 // flowTableMinCap is the initial capacity (power of two).
@@ -88,6 +96,7 @@ func (t *flowTable) alloc(c int) {
 	t.keyA = make([]uint64, c)
 	t.keyB = make([]uint64, c)
 	t.slot = make([]int32, c)
+	t.last = make([]float64, c)
 	t.mask = uint64(c - 1)
 	t.n = 0
 	t.grow = c * 3 / 4
@@ -101,6 +110,7 @@ func (t *flowTable) reset() {
 	}
 	clear(t.hash)
 	t.n = 0
+	t.sweepPos = 0
 }
 
 // find probes for (h, a, b): it returns the key's position when found, or
@@ -138,7 +148,7 @@ func (t *flowTable) insert(pos uint64, h, a, b uint64, s int32) uint64 {
 // rehash doubles capacity and reinserts every occupied position using its
 // stored hash (keys are distinct, so each lands at its first empty probe).
 func (t *flowTable) rehash() {
-	oh, oa, ob, os := t.hash, t.keyA, t.keyB, t.slot
+	oh, oa, ob, os, ol := t.hash, t.keyA, t.keyB, t.slot, t.last
 	t.alloc(2 * len(oh))
 	for i, h := range oh {
 		if h == 0 {
@@ -152,6 +162,7 @@ func (t *flowTable) rehash() {
 		t.keyA[j] = oa[i]
 		t.keyB[j] = ob[i]
 		t.slot[j] = os[i]
+		t.last[j] = ol[i]
 		t.n++
 	}
 }
@@ -180,9 +191,38 @@ func (t *flowTable) del(pos uint64) {
 				t.keyA[i] = t.keyA[j]
 				t.keyB[i] = t.keyB[j]
 				t.slot[i] = t.slot[j]
+				t.last[i] = t.last[j]
 				i = j
 				break
 			}
 		}
 	}
+}
+
+// sweepExpired examines up to k positions starting at the rotating cursor,
+// evicting entries whose last-seen timestamp is before deadline: evict
+// receives the entry's slot, then the position is deleted. Backward-shift
+// deletion can move a not-yet-visited entry into the examined position, so
+// a deleting step re-examines the position without advancing (the step
+// still counts toward k, bounding the call's work). Successive calls
+// rotate through the whole table, so any idle entry is found within one
+// full rotation — expiry timing affects only the memory bound, never
+// results, because eviction runs the same finalisation a Flush would.
+func (t *flowTable) sweepExpired(deadline float64, k int, evict func(slot int32)) {
+	if t.n == 0 {
+		return
+	}
+	if size := len(t.hash); k > size {
+		k = size
+	}
+	i := t.sweepPos & t.mask
+	for step := 0; step < k; step++ {
+		if t.hash[i] != 0 && t.last[i] < deadline {
+			evict(t.slot[i])
+			t.del(i)
+			continue
+		}
+		i = (i + 1) & t.mask
+	}
+	t.sweepPos = i
 }

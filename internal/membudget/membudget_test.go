@@ -1,0 +1,200 @@
+package membudget
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRejectsNonPositiveLimit(t *testing.T) {
+	for _, limit := range []int64{0, -1, -1 << 40} {
+		if _, err := New(limit); err == nil {
+			t.Fatalf("New(%d) succeeded, want error", limit)
+		}
+	}
+}
+
+func TestReserveReleaseAccounting(t *testing.T) {
+	b, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Reserve(ctx, 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Used(); got != 60 {
+		t.Fatalf("Used = %d, want 60", got)
+	}
+	if !b.TryReserve(40) {
+		t.Fatal("TryReserve(40) failed with 40 bytes free")
+	}
+	if b.TryReserve(1) {
+		t.Fatal("TryReserve(1) succeeded over the limit")
+	}
+	if got := b.Denied(); got != 1 {
+		t.Fatalf("Denied = %d, want 1", got)
+	}
+	b.Release(40)
+	b.Release(60)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("Used after releases = %d, want 0", got)
+	}
+	if got := b.Peak(); got != 100 {
+		t.Fatalf("Peak = %d, want 100", got)
+	}
+}
+
+// A reservation larger than the whole budget is clamped to the limit, so it
+// can still proceed once the budget drains (and its release stays balanced)
+// instead of deadlocking forever.
+func TestOversizedReservationClamps(t *testing.T) {
+	b, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Used(); got != 10 {
+		t.Fatalf("Used = %d, want clamped 10", got)
+	}
+	b.Release(1000)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("Used after release = %d, want 0", got)
+	}
+}
+
+func TestReserveBlocksUntilRelease(t *testing.T) {
+	b, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Reserve(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Reserve(ctx, 5)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Reserve returned %v before any release", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(10)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Reserve after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reserve still blocked after release")
+	}
+	if b.Waits() != 1 {
+		t.Fatalf("Waits = %d, want 1", b.Waits())
+	}
+}
+
+func TestReserveHonorsContextCancellation(t *testing.T) {
+	b, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Reserve(ctx, 1)
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Reserve succeeded after cancellation with a full budget")
+		}
+		if ctx.Err() == nil || !errorsIs(err, ctx.Err()) {
+			t.Fatalf("Reserve error %v does not wrap %v", err, ctx.Err())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Reserve never returned")
+	}
+}
+
+// errorsIs avoids importing errors just for one assertion helper signature.
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	b, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of unreserved bytes did not panic")
+		}
+	}()
+	b.Release(5)
+}
+
+func TestNilBudgetIsNoOp(t *testing.T) {
+	var b *Budget
+	if err := b.Reserve(context.Background(), 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if !b.TryReserve(1 << 40) {
+		t.Fatal("nil TryReserve failed")
+	}
+	b.Release(1 << 40)
+	if b.Used() != 0 || b.Limit() != 0 || b.Peak() != 0 || b.Waits() != 0 || b.Denied() != 0 {
+		t.Fatal("nil budget reported nonzero stats")
+	}
+}
+
+// Hammer the budget from many goroutines: accounting must balance to zero
+// and never exceed the limit (checked via Peak).
+func TestConcurrentReserveRelease(t *testing.T) {
+	b, err := New(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := int64(1 + i%97)
+				if err := b.Reserve(ctx, n); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Release(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Used(); got != 0 {
+		t.Fatalf("Used after balanced workload = %d, want 0", got)
+	}
+	if b.Peak() > b.Limit() {
+		t.Fatalf("Peak %d exceeded limit %d", b.Peak(), b.Limit())
+	}
+}

@@ -36,6 +36,14 @@ var (
 	ErrSnapTooBig = errors.New("pcap: packet exceeds snap length")
 )
 
+// MaxSnapLen is the hard upper bound on the per-packet capture length the
+// reader will allocate for, whatever the file header claims. Real captures
+// top out at 65535 (the classic tcpdump default) or a couple of jumbo
+// frames beyond; a multi-megabyte incl_len is a corrupt or hostile file,
+// and without this bound a 16-byte packet header could demand a 4 GiB
+// allocation.
+const MaxSnapLen = 262144
+
 const (
 	fileHeaderLen   = 24
 	packetHeaderLen = 16
@@ -135,6 +143,7 @@ type Reader struct {
 	order    binary.ByteOrder
 	nano     bool
 	snaplen  uint32
+	maxIncl  uint32 // effective per-packet allocation bound (snaplen ∧ MaxSnapLen)
 	linkType uint32
 	hdr      [packetHeaderLen]byte
 }
@@ -163,6 +172,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	rd.snaplen = rd.order.Uint32(hdr[16:20])
 	rd.linkType = rd.order.Uint32(hdr[20:24])
+	// Effective allocation bound per packet: the declared snaplen, sanity
+	// capped at MaxSnapLen; a zero snaplen (some writers) falls back to the
+	// cap rather than "unlimited".
+	rd.maxIncl = rd.snaplen
+	if rd.maxIncl == 0 || rd.maxIncl > MaxSnapLen {
+		rd.maxIncl = MaxSnapLen
+	}
 	return rd, nil
 }
 
@@ -188,8 +204,11 @@ func (r *Reader) ReadPacket() (Packet, error) {
 	sub := int64(r.order.Uint32(r.hdr[4:8]))
 	incl := r.order.Uint32(r.hdr[8:12])
 	orig := r.order.Uint32(r.hdr[12:16])
-	if incl > r.snaplen && r.snaplen > 0 {
-		return Packet{}, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
+	// Bound the allocation before trusting incl_len: a corrupt or hostile
+	// record must fail with an error, never with a giant allocation.
+	if incl > r.maxIncl {
+		return Packet{}, fmt.Errorf("pcap: record length %d exceeds capture bound %d (snaplen %d, cap %d)",
+			incl, r.maxIncl, r.snaplen, uint32(MaxSnapLen))
 	}
 	data := make([]byte, incl)
 	if _, err := io.ReadFull(r.r, data); err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netpkt"
 )
@@ -97,9 +98,22 @@ func (b *Block) Slice(lo, hi int) Block {
 // instead of the stream length.
 var blockPool = sync.Pool{}
 
+// liveBlocks counts blocks taken from GetBlock and not yet returned through
+// PutBlock — the runtime complement of the static poolcheck analyzer. The
+// chaos suite snapshots it around a pipeline run: any unwind path (error,
+// cancellation, panic recovery) that skips a PutBlock shows up as a nonzero
+// delta. One atomic add per block (256 packets) is noise on the hot path.
+var liveBlocks atomic.Int64
+
+// LiveBlocks returns the number of pool blocks currently checked out (taken
+// by GetBlock, not yet handed to PutBlock). With no pipeline in flight it
+// must be back at its pre-run value; leak checks assert exactly that.
+func LiveBlocks() int64 { return liveBlocks.Load() }
+
 // GetBlock returns an empty block with BlockSize column capacity, recycled
 // when possible.
 func GetBlock() *Block {
+	liveBlocks.Add(1)
 	if b, _ := blockPool.Get().(*Block); b != nil {
 		b.Reset()
 		return b
@@ -115,8 +129,25 @@ func GetBlock() *Block {
 // PutBlock returns a drained block to the pool once no consumer can touch
 // its columns again. Safe for any block: only usefully-sized ones are kept.
 func PutBlock(b *Block) {
-	if b == nil || cap(b.Times) < BlockSize {
+	if b == nil {
+		return
+	}
+	liveBlocks.Add(-1)
+	if cap(b.Times) < BlockSize {
 		return
 	}
 	blockPool.Put(b)
+}
+
+// BlockCost returns the approximate resident bytes of one pooled block whose
+// columns hold up to n records — the unit a membudget reservation charges
+// for an in-flight block. Pool blocks never shrink below BlockSize capacity,
+// so smaller n still costs a full block; the constant covers the four slice
+// headers and the Block itself.
+func BlockCost(n int) int64 {
+	if n < BlockSize {
+		n = BlockSize
+	}
+	// 8 (Times) + 2 (Sizes) + 8 (Srcs) + 8 (Dsts) bytes per record.
+	return int64(n)*26 + 128
 }

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -68,12 +70,26 @@ type segment struct {
 // the segments a worker runs). The skip flag short-circuits the work (the
 // channel is still closed) once an abort means nobody will read the
 // packets. The segment's program list returns to the shared pool either
-// way.
-func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool) {
+// way. A panic anywhere in the replay is converted to an error through
+// onPanic (never propagated past the worker boundary): the in-hand block
+// returns to the pool, the channel still closes, and the merger reports the
+// wrapped error instead of the process dying mid-pipeline.
+func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool, onPanic func(any)) {
+	// blk is the block under construction, shared with the deferred recovery
+	// below so the in-hand block returns to the pool no matter where inside
+	// pl.play a panic unwound from.
+	var blk *Block
 	defer close(sg.blocks)
 	defer func() {
 		putProgSlice(sg.progs)
 		sg.progs = nil
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			PutBlock(blk)
+			skip.Store(true)
+			onPanic(r)
+		}
 	}()
 	if skip.Load() {
 		return
@@ -85,7 +101,7 @@ func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool) {
 	for i := range sg.progs {
 		pl.admit(&sg.progs[i])
 	}
-	blk := GetBlock()
+	blk = GetBlock()
 	pl.play(func(t float64, pkt int, hdr netpkt.Header) bool {
 		src, dst := hdr.Packed()
 		blk.Append(t-warmup, uint16(pkt), src, dst)
@@ -101,6 +117,7 @@ func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool) {
 	} else {
 		PutBlock(blk)
 	}
+	blk = nil
 }
 
 // StreamBlocks generates cfg's trace with the serial generator, handing the
@@ -109,6 +126,14 @@ func (sg *segment) synthesize(pl *player, warmup float64, skip *atomic.Bool) {
 // after fn returns, so fn must copy out anything it keeps. On fn error the
 // stream aborts like Stream's.
 func StreamBlocks(cfg Config, fn func(*Block) error) (Summary, error) {
+	return StreamBlocksCtx(context.Background(), cfg, fn)
+}
+
+// StreamBlocksCtx is StreamBlocks under a cancellation context: the stream
+// aborts between blocks when ctx is cancelled, returning the wrapped
+// context error with a running summary snapshot, exactly as an fn error
+// would. A nil-cancel context behaves like StreamBlocks.
+func StreamBlocksCtx(ctx context.Context, cfg Config, fn func(*Block) error) (Summary, error) {
 	g, err := NewGenerator(cfg)
 	if err != nil {
 		return Summary{}, err
@@ -122,6 +147,9 @@ func StreamBlocks(cfg Config, fn func(*Block) error) (Summary, error) {
 		}
 		blk.AppendRecord(r)
 		if blk.Len() == BlockSize {
+			if err := ctx.Err(); err != nil {
+				return g.Stats(), fmt.Errorf("trace: generation cancelled: %w", err)
+			}
 			if err := fn(blk); err != nil {
 				return g.Stats(), err
 			}
@@ -129,6 +157,9 @@ func StreamBlocks(cfg Config, fn func(*Block) error) (Summary, error) {
 		}
 	}
 	if blk.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return g.Stats(), fmt.Errorf("trace: generation cancelled: %w", err)
+		}
 		if err := fn(blk); err != nil {
 			return g.Stats(), err
 		}
@@ -151,10 +182,22 @@ func StreamBlocks(cfg Config, fn func(*Block) error) (Summary, error) {
 // snapshot, like Stream; generation already in flight is drained, not
 // delivered.
 func StreamParallelBlocks(cfg Config, workers int, fn func(*Block) error) (Summary, error) {
+	return StreamParallelBlocksCtx(context.Background(), cfg, workers, fn)
+}
+
+// StreamParallelBlocksCtx is StreamParallelBlocks under a cancellation
+// context: when ctx is cancelled the dispatcher stops sealing segments,
+// workers short-circuit their replay at the next block boundary, every
+// in-flight block drains back to the pool, and the call returns the wrapped
+// context error with a summary of the packets delivered before the cut.
+// Worker and dispatcher panics are recovered at the goroutine boundary and
+// surface the same way, as wrapped errors — the pipeline never dies mid-run
+// and never leaks a pooled block or a goroutine on any unwind path.
+func StreamParallelBlocksCtx(ctx context.Context, cfg Config, workers int, fn func(*Block) error) (Summary, error) {
 	if workers <= 1 {
-		return StreamBlocks(cfg, fn)
+		return StreamBlocksCtx(ctx, cfg, fn)
 	}
-	return streamParallelCore(cfg, workers, func(blk *Block) (int, error) {
+	return streamParallelCore(ctx, cfg, workers, func(blk *Block) (int, error) {
 		// The whole block was delivered to fn even when fn errors, so it
 		// counts — matching the serial StreamBlocks fallback, whose
 		// generator stats include every packet of the failing block.
@@ -166,7 +209,7 @@ func StreamParallelBlocks(cfg Config, workers int, fn func(*Block) error) (Summa
 // of the block's packets it consumed before failing (all of them on
 // success), so the summary snapshot returned with an error counts exactly
 // the packets delivered.
-func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (Summary, error) {
+func streamParallelCore(ctx context.Context, cfg Config, workers int, fn func(*Block) (int, error)) (Summary, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return Summary{}, err
@@ -214,6 +257,24 @@ func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (
 	}
 
 	var aborted atomic.Bool
+	// Panic recovery at the goroutine boundaries: the first recovered panic
+	// becomes the run's error (workers and the dispatcher keep unwinding
+	// cleanly — channels close, blocks drain — so the merger can report it).
+	var panicMu sync.Mutex
+	var panicErr error
+	recordPanic := func(r any) {
+		panicMu.Lock()
+		if panicErr == nil {
+			panicErr = fmt.Errorf("trace: synthesis panicked: %v", r)
+		}
+		panicMu.Unlock()
+		aborted.Store(true)
+	}
+	// Cancellation folds into the existing abort machinery: workers
+	// short-circuit at their next block boundary, the dispatcher stops
+	// sealing, and the merger stops delivering.
+	stopWatch := context.AfterFunc(ctx, func() { aborted.Store(true) })
+	defer stopWatch()
 	// Sized to hold every segment so worker handoff never blocks on the
 	// queue itself — ordering and back-pressure come from inflight and the
 	// per-segment buffers (the PR-2 discipline).
@@ -226,6 +287,20 @@ func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (
 
 	go func() { // dispatcher: phase 1 + routing + sealing
 		next := 0 // next segment to seal
+		// The dispatcher runs phase-1 program code; a panic there must still
+		// close the undispatched segment channels (or the merger's drain
+		// loop would hang) and the task queue (or the workers would leak).
+		defer func() {
+			if r := recover(); r != nil {
+				recordPanic(r)
+			}
+			for ; next < nSegs; next++ {
+				if !segs[next].dispatched {
+					close(segs[next].blocks)
+				}
+			}
+			close(tasks)
+		}()
 		seal := func(limit int) bool {
 			for next < limit {
 				if aborted.Load() {
@@ -279,12 +354,8 @@ func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (
 			src.nextSession(horizon, route)
 		}
 		seal(nSegs)
-		// On abort, close what was never dispatched so the merger's drain
-		// loop terminates.
-		for ; next < nSegs; next++ {
-			close(segs[next].blocks)
-		}
-		close(tasks)
+		// The deferred cleanup closes what was never dispatched (abort) and
+		// the task queue.
 	}()
 
 	var workerWG sync.WaitGroup
@@ -294,18 +365,25 @@ func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (
 			defer workerWG.Done()
 			var pl player // reused across this worker's segments
 			for sg := range tasks {
-				sg.synthesize(&pl, c.Warmup, &aborted)
+				sg.synthesize(&pl, c.Warmup, &aborted, recordPanic)
 			}
 		}()
 	}
 
 	// Merge: forward each segment's blocks in timeline order. Every
-	// channel is drained even after an error so no worker stays blocked.
+	// channel is drained even after an error or cancellation so no worker
+	// stays blocked and every block returns to the pool.
 	var sum Summary
 	var firstErr error
 	for j := range segs {
 		sg := &segs[j]
 		for blk := range sg.blocks {
+			if firstErr == nil {
+				if err := ctx.Err(); err != nil {
+					firstErr = fmt.Errorf("trace: generation cancelled: %w", err)
+					aborted.Store(true)
+				}
+			}
 			if firstErr == nil {
 				n, err := fn(blk)
 				sum.Packets += int64(n)
@@ -327,6 +405,19 @@ func streamParallelCore(cfg Config, workers int, fn func(*Block) (int, error)) (
 
 	sum.Flows = src.flows
 	sum.OnePktFlows = src.onePkt
+	if firstErr == nil {
+		// A recovered worker/dispatcher panic is only authoritative once
+		// every goroutine has unwound (workerWG above); fn never saw the
+		// aborted tail, so the summary snapshot is still exact.
+		panicMu.Lock()
+		firstErr = panicErr
+		panicMu.Unlock()
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = fmt.Errorf("trace: generation cancelled: %w", err)
+		}
+	}
 	if firstErr != nil {
 		return sum, firstErr
 	}
@@ -347,7 +438,7 @@ func StreamParallel(cfg Config, workers int, fn func(Record) error) (Summary, er
 	if workers <= 1 {
 		return Stream(cfg, fn)
 	}
-	return streamParallelCore(cfg, workers, func(blk *Block) (int, error) {
+	return streamParallelCore(context.Background(), cfg, workers, func(blk *Block) (int, error) {
 		for i := 0; i < blk.Len(); i++ {
 			if err := fn(blk.Record(i)); err != nil {
 				return i + 1, err
