@@ -11,6 +11,7 @@ package repro
 // reproduction quality.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/mginf"
+	"repro/internal/service"
+	"repro/internal/snapshot"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
 )
@@ -737,6 +740,46 @@ func BenchmarkModelSuite(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(pop.Len()), "flows/op")
+}
+
+// BenchmarkServiceIngest measures the flowd daemon's steady-state ingest
+// path: one epoch of the benchmark trace streamed through a supervised
+// link — owned-block queueing, both flow definitions measured per block,
+// interval closing with the incremental model refit — without and with
+// per-interval checkpointing (snapshot encode + fsync + rename per
+// interval). ns/op is per epoch; pkts/op records the stream length.
+func BenchmarkServiceIngest(b *testing.B) {
+	base := benchTraceConfig()
+	run := func(b *testing.B, store *snapshot.Store) {
+		var pkts int64
+		for i := 0; i < b.N; i++ {
+			link, err := service.NewLink(service.LinkConfig{
+				Name:   "bench",
+				Source: &service.SyntheticSource{Base: base, Epochs: 1},
+				Pipeline: service.PipelineConfig{
+					IntervalSec: 10,
+					Delta:       0.2,
+				},
+				Store: store,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := link.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			pkts += link.Stats().Packets
+		}
+		b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+	}
+	b.Run("plain", func(b *testing.B) { run(b, nil) })
+	b.Run("checkpointed", func(b *testing.B) {
+		store, err := snapshot.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
+	})
 }
 
 func BenchmarkMGInfSimulation(b *testing.B) {

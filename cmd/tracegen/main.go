@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dist"
 	"repro/internal/trace"
@@ -97,7 +100,12 @@ func main() {
 		cfg.Warmup = *warmup
 	}
 
-	recs, sum, err := trace.GenerateAllParallel(cfg, *genWork)
+	// SIGINT/SIGTERM abort the run cleanly: generation stops at the next
+	// block boundary and no partial output file is left behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	recs, sum, err := generateAll(ctx, cfg, *genWork)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,13 +115,32 @@ func main() {
 	}
 	defer f.Close()
 	if err := trace.WritePcap(f, recs); err != nil {
+		os.Remove(*out)
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(*out)
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d packets, %d flows, %.2f Mb/s over %.0f s\n",
 		*out, sum.Packets, sum.Flows, sum.AvgRateBps/1e6, sum.Duration)
+}
+
+// generateAll materialises the trace like trace.GenerateAllParallel —
+// bit-identical output at any worker count — but honours ctx cancellation
+// between blocks.
+func generateAll(ctx context.Context, cfg trace.Config, workers int) ([]trace.Record, trace.Summary, error) {
+	recs := make([]trace.Record, 0, int(cfg.Duration*cfg.Lambda*8))
+	sum, err := trace.StreamParallelBlocksCtx(ctx, cfg, workers, func(blk *trace.Block) error {
+		for i := 0; i < blk.Len(); i++ {
+			recs = append(recs, blk.Record(i))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, trace.Summary{}, err
+	}
+	return recs, sum, nil
 }
 
 func fatal(err error) {

@@ -376,6 +376,9 @@ func (t *tracked) expr(e ast.Expr) {
 			return false
 		case *ast.CompositeLit:
 			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
 				if v := t.localVar(el); v != nil {
 					t.use(v, el.Pos())
 					t.untrack(v)

@@ -187,3 +187,29 @@ func ShipCancelDoublePut(out chan<- *trace.Block, done <-chan struct{}) {
 	}
 	trace.PutBlock(b) // want "block b returned to the pool twice: double PutBlock"
 }
+
+// envelope wraps a block with its queue metadata (the ingest-queue shape).
+type envelope struct {
+	seq int64
+	blk *trace.Block
+}
+
+// ShipWrapped sends the block inside a keyed composite literal: ownership
+// transfers to the receiver exactly as a bare send does. Silent.
+func ShipWrapped(out chan<- envelope, done <-chan struct{}) bool {
+	b := trace.GetBlock()
+	b.Append(1, 64, 1, 2)
+	select {
+	case out <- envelope{seq: 1, blk: b}:
+		return true
+	case <-done:
+		trace.PutBlock(b)
+		return false
+	}
+}
+
+// WrappedPositional transfers through an unkeyed composite literal too.
+func WrappedPositional(out chan<- envelope) {
+	b := trace.GetBlock()
+	out <- envelope{1, b}
+}

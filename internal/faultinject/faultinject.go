@@ -127,7 +127,20 @@ func hashStage(name string) uint64 {
 // deterministic ErrAfter, probabilistic error, truncation — then forwards
 // to fn. A nil injector (or a zero config) returns fn untouched, so wiring
 // the hook costs nothing when chaos is off.
+//
+// Delay faults sleep uninterruptibly; a stage that must stay responsive to
+// cancellation during injected delays (a daemon draining on SIGTERM) should
+// use WrapBlockFnCtx instead.
 func (in *Injector) WrapBlockFn(stage string, fn func(*trace.Block) error) func(*trace.Block) error {
+	return in.WrapBlockFnCtx(context.Background(), stage, fn)
+}
+
+// WrapBlockFnCtx is WrapBlockFn with context-aware delay faults: a sleeping
+// faulted stage wakes on ctx cancellation and returns the context's error
+// immediately, so an injected delay can never stall a shutdown past its
+// drain deadline. The fault *sequence* is identical to WrapBlockFn — the
+// context only bounds how long a dealt delay is actually served.
+func (in *Injector) WrapBlockFnCtx(ctx context.Context, stage string, fn func(*trace.Block) error) func(*trace.Block) error {
 	if in == nil {
 		return fn
 	}
@@ -154,7 +167,9 @@ func (in *Injector) WrapBlockFn(stage string, fn func(*trace.Block) error) func(
 		in.blocks.Add(1)
 		if cfg.DelayProb > 0 && dDelay < cfg.DelayProb {
 			in.delays.Add(1)
-			time.Sleep(cfg.Delay)
+			if err := sleepCtx(ctx, cfg.Delay); err != nil {
+				return fmt.Errorf("faultinject: stage %q delay interrupted: %w", stage, err)
+			}
 		}
 		if cfg.ErrAfter > 0 && n >= cfg.ErrAfter {
 			in.errors.Add(1)
@@ -171,6 +186,24 @@ func (in *Injector) WrapBlockFn(stage string, fn func(*trace.Block) error) func(
 			}
 		}
 		return fn(blk)
+	}
+}
+
+// sleepCtx sleeps d or until ctx is cancelled, whichever comes first,
+// returning the context's error on interruption. The context.Background
+// fast path (WrapBlockFn) keeps plain time.Sleep: no timer allocation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -237,3 +237,67 @@ func TestWrapBudgetFailsAfterN(t *testing.T) {
 		t.Fatal("pass-through TryReserve failed")
 	}
 }
+
+// TestDelayRespectsContext pins the satellite contract: a sleeping faulted
+// stage must wake on cancellation instead of stalling a drain deadline.
+func TestDelayRespectsContext(t *testing.T) {
+	in, err := New(Config{Seed: 1, DelayProb: 1, Delay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fn := in.WrapBlockFnCtx(ctx, "ingest", func(*trace.Block) error { return nil })
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- fn(block(3)) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted delay returned %v, want wrapped context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("stage stalled %v past cancellation", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("faulted stage never woke after cancellation")
+	}
+	if s := in.Stats(); s.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", s.Delays)
+	}
+}
+
+// TestWrapBlockFnCtxSameFaultSequence asserts the ctx-aware wrapper deals
+// the identical fault sequence as the background one.
+func TestWrapBlockFnCtxSameFaultSequence(t *testing.T) {
+	cfg := Config{Seed: 42, ErrProb: 0.3, TruncProb: 0.3}
+	runSeq := func(wrap func(*Injector) func(*trace.Block) error) []int {
+		in, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := wrap(in)
+		var lens []int
+		for i := 0; i < 50; i++ {
+			blk := block(8)
+			if err := fn(blk); err != nil {
+				lens = append(lens, -1)
+			} else {
+				lens = append(lens, blk.Len())
+			}
+		}
+		return lens
+	}
+	plain := runSeq(func(in *Injector) func(*trace.Block) error {
+		return in.WrapBlockFn("s", func(*trace.Block) error { return nil })
+	})
+	ctxed := runSeq(func(in *Injector) func(*trace.Block) error {
+		return in.WrapBlockFnCtx(context.Background(), "s", func(*trace.Block) error { return nil })
+	})
+	for i := range plain {
+		if plain[i] != ctxed[i] {
+			t.Fatalf("fault sequences diverge at call %d: %v vs %v", i, plain, ctxed)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/membudget"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// LinkConfig wires one link's ingest, pipeline, budget and checkpointing.
+type LinkConfig struct {
+	// Name labels the link in events and errors.
+	Name string
+	// Source is the packet stream (required).
+	Source BlockSource
+	// Pipeline sizes the resident measurement state.
+	Pipeline PipelineConfig
+	// Store persists checkpoints (nil = no checkpointing: a restart loses
+	// all resident state).
+	Store *snapshot.Store
+	// CheckpointEvery is the stream-time between periodic checkpoints in
+	// seconds (default: one analysis interval). A crash loses at most this
+	// much re-ingestable stream — the declared loss window.
+	CheckpointEvery float64
+	// Budget bounds the resident bytes of queued ingest blocks (nil =
+	// unlimited). Producers block when it fills (backpressure)…
+	Budget membudget.Reserver
+	// …unless Shed is set, in which case blocks that do not fit are dropped
+	// with exact accounting instead of stalling the source.
+	Shed bool
+	// QueueLen is the ingest queue depth in blocks (default 4).
+	QueueLen int
+}
+
+// LinkStats are a link's ingest counters, readable while it runs.
+type LinkStats struct {
+	Blocks      int64 // blocks measured
+	Packets     int64 // packets measured
+	ShedBlocks  int64 // blocks dropped under memory pressure
+	ShedPackets int64 // packets dropped under memory pressure
+	Checkpoints int64 // checkpoints written
+	Restores    int64 // runs resumed from a checkpoint
+	FreshStarts int64 // runs started without usable checkpoint state
+}
+
+// Link runs one supervised ingest-measure pipeline attempt per Run call:
+// restore from the last checkpoint, stream blocks through the pipeline with
+// budget-bounded queueing, checkpoint periodically, and on cancellation
+// drain — flush the partial interval and write a final checkpoint. Run is
+// the function handed to Supervisor.Run.
+type Link struct {
+	cfg LinkConfig
+
+	blocks      atomic.Int64
+	packets     atomic.Int64
+	shedBlocks  atomic.Int64
+	shedPackets atomic.Int64
+	checkpoints atomic.Int64
+	restores    atomic.Int64
+	freshStarts atomic.Int64
+}
+
+// NewLink validates the wiring.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("service: link %q needs a source", cfg.Name)
+	}
+	if cfg.Shed && cfg.Budget == nil {
+		return nil, fmt.Errorf("service: link %q sheds without a budget", cfg.Name)
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = cfg.Pipeline.IntervalSec
+	}
+	if !(cfg.CheckpointEvery > 0) {
+		return nil, fmt.Errorf("service: link %q checkpoint period must be > 0, got %g", cfg.Name, cfg.CheckpointEvery)
+	}
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 4
+	}
+	if cfg.QueueLen < 1 {
+		return nil, fmt.Errorf("service: link %q queue length must be >= 1, got %d", cfg.Name, cfg.QueueLen)
+	}
+	return &Link{cfg: cfg}, nil
+}
+
+// Stats snapshots the link's counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		Blocks:      l.blocks.Load(),
+		Packets:     l.packets.Load(),
+		ShedBlocks:  l.shedBlocks.Load(),
+		ShedPackets: l.shedPackets.Load(),
+		Checkpoints: l.checkpoints.Load(),
+		Restores:    l.restores.Load(),
+		FreshStarts: l.freshStarts.Load(),
+	}
+}
+
+func (l *Link) release(cost int64) {
+	if l.cfg.Budget != nil {
+		l.cfg.Budget.Release(cost)
+	}
+}
+
+// item is one owned, budget-charged block in the ingest queue.
+type item struct {
+	epoch int64
+	blk   *trace.Block
+	cost  int64
+}
+
+// restore loads the newest checkpoint into p and returns the ingest cursor.
+// Unusable state (no checkpoint, damaged files, configuration mismatch)
+// degrades to a fresh start — the link must come up either way.
+func (l *Link) restore(p *Pipeline) Cursor {
+	if l.cfg.Store == nil {
+		return Cursor{}
+	}
+	secs, _, err := l.cfg.Store.Load()
+	if err != nil {
+		l.freshStarts.Add(1)
+		return Cursor{}
+	}
+	if err := p.Restore(secs); err != nil {
+		l.freshStarts.Add(1)
+		return Cursor{}
+	}
+	cur, err := DecodeCursor(secs)
+	if err != nil {
+		p.resetAll()
+		l.freshStarts.Add(1)
+		return Cursor{}
+	}
+	l.restores.Add(1)
+	return cur
+}
+
+// checkpoint writes the pipeline state + ingest cursor as one generation.
+func (l *Link) checkpoint(p *Pipeline, cur Cursor) error {
+	if l.cfg.Store == nil {
+		return nil
+	}
+	secs := append(p.Snapshot(), EncodeCursor(cur))
+	if _, err := l.cfg.Store.Save(secs); err != nil {
+		return fmt.Errorf("service: link %q checkpoint: %w", l.cfg.Name, err)
+	}
+	l.checkpoints.Add(1)
+	return nil
+}
+
+// Run is one supervised attempt: it returns nil only via a clean stop
+// (source exhausted or context cancelled — both drain first), a wrapped
+// context error on cancellation, or the failure that ended the attempt.
+func (l *Link) Run(ctx context.Context) error {
+	p, err := NewPipeline(l.cfg.Pipeline)
+	if err != nil {
+		return MarkPermanent(err)
+	}
+	cur := l.restore(p)
+
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
+	ch := make(chan item, l.cfg.QueueLen)
+	producerDone := make(chan struct{})
+	var prodErr error
+
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				prodErr = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+			close(ch)
+			close(producerDone)
+		}()
+		prodErr = l.cfg.Source.Stream(ictx, cur, func(epoch int64, blk *trace.Block) error {
+			n := blk.Len()
+			if n == 0 {
+				return nil
+			}
+			cost := trace.BlockCost(n)
+			if l.cfg.Budget != nil {
+				if l.cfg.Shed {
+					if !l.cfg.Budget.TryReserve(cost) {
+						// Graceful degradation: drop the block with exact
+						// accounting instead of stalling the source.
+						l.shedBlocks.Add(1)
+						l.shedPackets.Add(int64(n))
+						return nil
+					}
+				} else if err := l.cfg.Budget.Reserve(ictx, cost); err != nil {
+					return err
+				}
+			}
+			// Copy into an owned block: the source recycles blk after this
+			// call, but the queue outlives it.
+			ob := trace.GetBlock()
+			ob.AppendRebased(blk, 0, n, 0)
+			select {
+			case ch <- item{epoch: epoch, blk: ob, cost: cost}:
+				return nil
+			case <-ictx.Done():
+				trace.PutBlock(ob)
+				l.release(cost)
+				return fmt.Errorf("service: link %q ingest: %w", l.cfg.Name, ictx.Err())
+			}
+		})
+	}()
+
+	// Whatever way this attempt unwinds — clean stop, error return, or a
+	// panic on its way to the supervisor — stop the producer, return every
+	// queued block to the pool with its budget charge (including the one a
+	// panicking AddBlock was holding), and wait the producer out: zero
+	// goroutine/block leaks on every path.
+	var held *trace.Block
+	var heldCost int64
+	defer func() {
+		icancel()
+		if held != nil {
+			trace.PutBlock(held)
+			l.release(heldCost)
+		}
+		for it := range ch {
+			trace.PutBlock(it.blk)
+			l.release(it.cost)
+		}
+		<-producerDone
+	}()
+
+	epoch, pkts := cur.Epoch, cur.Packets
+	lastCkpt := p.StreamTime()
+	for it := range ch {
+		held, heldCost = it.blk, it.cost
+		err := p.AddBlock(it.blk)
+		n := it.blk.Len()
+		held = nil
+		trace.PutBlock(it.blk)
+		l.release(it.cost)
+		if err != nil {
+			return err
+		}
+		if it.epoch != epoch {
+			epoch, pkts = it.epoch, 0
+		}
+		pkts += int64(n)
+		cur = Cursor{Epoch: epoch, Packets: pkts}
+		l.blocks.Add(1)
+		l.packets.Add(int64(n))
+		if l.cfg.Store != nil && p.StreamTime()-lastCkpt >= l.cfg.CheckpointEvery {
+			if err := l.checkpoint(p, cur); err != nil {
+				return err
+			}
+			lastCkpt = p.StreamTime()
+		}
+	}
+	<-producerDone
+
+	// The producer stopped. A clean end (source exhausted) or a
+	// cancellation drains: flush the partial interval, write the final
+	// checkpoint, and report the stop as clean.
+	if Classify(prodErr) == Canceled {
+		if err := p.Drain(); err != nil && Classify(err) != Canceled {
+			return err
+		}
+		if err := l.checkpoint(p, cur); err != nil {
+			return err
+		}
+		return prodErr
+	}
+	return prodErr
+}

@@ -1,0 +1,335 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/anomaly"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/predict"
+	"repro/internal/timeseries"
+	"repro/internal/trace"
+)
+
+// PipelineConfig sizes one link's resident measurement state.
+type PipelineConfig struct {
+	// IntervalSec is the analysis-interval length (the paper's 30-minute
+	// window, scaled). Required.
+	IntervalSec float64
+	// Delta is the rate averaging interval Δ. Required.
+	Delta float64
+	// Window is how many per-interval mean rates the predictor keeps
+	// (default 32) — the sliding-window bound on series memory.
+	Window int
+	// Defs are the flow definitions measured simultaneously (default
+	// 5-tuple + /24 prefix; Defs[0] drives the model refit).
+	Defs []flow.Definition
+	// Timeout is the flow-termination timeout (default the paper's 60 s).
+	Timeout float64
+	// Z is the anomaly band half-width in standard deviations (default 3).
+	Z float64
+	// MinRun debounces anomaly events (default 3 consecutive bins).
+	MinRun int
+	// PredictOrder is the AR predictor order (default 2).
+	PredictOrder int
+	// OnInterval observes every closed interval, in order. Its error aborts
+	// the stream (and is classified by the supervisor like any other).
+	OnInterval func(Report) error
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if len(c.Defs) == 0 {
+		c.Defs = []flow.Definition{flow.By5Tuple, flow.ByPrefix24}
+	}
+	if c.Timeout == 0 {
+		c.Timeout = flow.DefaultTimeout
+	}
+	if c.Z == 0 {
+		c.Z = 3
+	}
+	if c.MinRun == 0 {
+		c.MinRun = 3
+	}
+	if c.PredictOrder == 0 {
+		c.PredictOrder = 2
+	}
+	return c
+}
+
+// Report is one closed analysis interval of a running link: the measured
+// rate statistics, the refit model inputs, and the online anomaly/predictor
+// evaluation against the previous interval's fit.
+type Report struct {
+	Index   int
+	Start   float64 // interval start in stream seconds
+	Partial bool    // a drain flushed this interval before its boundary
+
+	Flows     int // kept flows under Defs[0]
+	Discarded int // single-packet flows under Defs[0]
+	Packets   int64
+
+	MeasMean float64 // bit/s
+	MeasVar  float64
+	MeasCoV  float64
+
+	// Model refit (zero when the interval was too sparse to fit).
+	Lambda   float64
+	MeanS    float64
+	MeanS2oD float64
+	FittedB  float64
+	FitOK    bool
+
+	// Anomaly scan against the previous interval's fitted band (nil band
+	// before the first fit).
+	Anomalies []anomaly.Event
+
+	// One-step prediction made at the previous interval close for this
+	// interval's mean rate.
+	Predicted     float64
+	HasPrediction bool
+}
+
+// Pipeline is the resident per-link measurement state of the daemon: a
+// multi-definition flow measurer, a rate binner, the eq.(7) kernel caches,
+// a sliding window of interval means, and the carried-over anomaly band and
+// predictor. It consumes absolute-time blocks, closes analysis intervals as
+// the stream crosses their boundaries, and snapshots/restores its complete
+// state for crash-safe resumption.
+type Pipeline struct {
+	cfg  PipelineConfig
+	meas *flow.Measurer
+	bin  *timeseries.Binner
+	pop  *core.FlowPop
+	// kernels are the eq.(7) coefficient caches for b = 0, 1, 2 at Δ,
+	// built once — the incremental-refit fast path.
+	kernels [3]*core.AvgVarKernel
+
+	cur      int // index of the interval currently being fed
+	started  bool
+	lastTime float64
+	pktsCur  int64 // packets in the current interval
+
+	means *timeseries.Window // per-interval mean rates (prediction history)
+
+	// Carried across intervals: the anomaly band fitted on the previous
+	// interval (sigma 0 = no fit yet) and the pending one-step prediction.
+	detMu, detSigma float64
+	predNext        float64
+	predHas         bool
+
+	// scratch
+	rebased []float64
+	hist    []float64
+}
+
+// NewPipeline validates the configuration and builds the resident state.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if !(cfg.IntervalSec > 0) {
+		return nil, fmt.Errorf("service: interval must be > 0, got %g", cfg.IntervalSec)
+	}
+	if !(cfg.Delta > 0) || cfg.Delta > cfg.IntervalSec {
+		return nil, fmt.Errorf("service: delta must be in (0, interval], got %g", cfg.Delta)
+	}
+	if cfg.Window < 2 {
+		return nil, fmt.Errorf("service: window must be >= 2 intervals, got %d", cfg.Window)
+	}
+	if cfg.PredictOrder < 1 || cfg.PredictOrder > cfg.Window-2 {
+		return nil, fmt.Errorf("service: predictor order %d does not fit window %d", cfg.PredictOrder, cfg.Window)
+	}
+	p := &Pipeline{cfg: cfg, pop: &core.FlowPop{}}
+	var err error
+	if p.meas, err = flow.NewMeasurer(cfg.Defs, cfg.Timeout); err != nil {
+		return nil, err
+	}
+	if p.bin, err = timeseries.NewBinner(cfg.IntervalSec, cfg.Delta); err != nil {
+		return nil, err
+	}
+	if p.means, err = timeseries.NewWindow(cfg.Window); err != nil {
+		return nil, err
+	}
+	for b := range p.kernels {
+		if p.kernels[b], err = core.NewAvgVarKernel(b, cfg.Delta); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// StreamTime returns the last packet time consumed (stream seconds).
+func (p *Pipeline) StreamTime() float64 { return p.lastTime }
+
+// Interval returns the index of the interval currently being fed.
+func (p *Pipeline) Interval() int { return p.cur }
+
+// ActiveFlows returns the in-progress flow count under Defs[0] — the
+// occupancy the soak test bounds.
+func (p *Pipeline) ActiveFlows() int { return p.meas.ActiveFlows(0) }
+
+// runEnd scans times[j:] for the end of the run of packets landing in
+// interval idx — the boundary-splitting inner loop.
+//
+//repro:hotpath
+func runEnd(times []float64, j int, intervalSec float64, idx int) int {
+	k := j + 1
+	for k < len(times) && int(times[k]/intervalSec) == idx {
+		k++
+	}
+	return k
+}
+
+// rebase fills dst with times[lo:hi] shifted by -origin.
+//
+//repro:hotpath
+func rebase(dst, times []float64, lo, hi int, origin float64) {
+	for i := lo; i < hi; i++ {
+		dst[i-lo] = times[i] - origin
+	}
+}
+
+// AddBlock consumes one absolute-time SoA block, closing analysis intervals
+// as the stream crosses their boundaries (empty intervals are emitted too —
+// a silent link is data). The block is read, never retained.
+func (p *Pipeline) AddBlock(blk *trace.Block) error {
+	n := blk.Len()
+	j := 0
+	for j < n {
+		t := blk.Times[j]
+		if t < 0 {
+			return fmt.Errorf("service: packet time %g is negative", t)
+		}
+		if p.started && t < p.lastTime {
+			return fmt.Errorf("service: packet out of order: %g after %g", t, p.lastTime)
+		}
+		idx := int(t / p.cfg.IntervalSec)
+		for p.cur < idx {
+			if err := p.closeInterval(false); err != nil {
+				return err
+			}
+		}
+		k := runEnd(blk.Times, j, p.cfg.IntervalSec, idx)
+		p.started = true
+		p.lastTime = blk.Times[k-1]
+		p.pktsCur += int64(k - j)
+		sub := blk.Slice(j, k)
+		if origin := p.origin(); origin != 0 {
+			if cap(p.rebased) < k-j {
+				p.rebased = make([]float64, k-j)
+			}
+			p.rebased = p.rebased[:k-j]
+			rebase(p.rebased, blk.Times, j, k, origin)
+			sub.Times = p.rebased
+		}
+		if err := p.meas.AddBlock(&sub); err != nil {
+			return err
+		}
+		p.bin.AddBlock(&sub)
+		j = k
+	}
+	return nil
+}
+
+func (p *Pipeline) origin() float64 { return float64(p.cur) * p.cfg.IntervalSec }
+
+// Drain flushes the in-progress interval as a partial report (SIGTERM
+// semantics: in-flight state is surfaced, not dropped). A pipeline that has
+// consumed nothing since the last boundary emits nothing.
+func (p *Pipeline) Drain() error {
+	if !p.started || p.pktsCur == 0 {
+		return nil
+	}
+	return p.closeInterval(true)
+}
+
+// closeInterval finalises the current interval: flush flows, refit the
+// model off the kernel caches, scan for anomalies against the previous
+// fit, update the predictor, report, and re-arm for the next interval.
+func (p *Pipeline) closeInterval(partial bool) error {
+	results := p.meas.Flush()
+	series := p.bin.Series()
+	series.Subtract(results[0].Discarded)
+
+	rep := Report{
+		Index:     p.cur,
+		Start:     p.origin(),
+		Partial:   partial,
+		Flows:     len(results[0].Flows),
+		Discarded: len(results[0].Discarded),
+		Packets:   p.pktsCur,
+		MeasMean:  series.Mean(),
+		MeasVar:   series.Variance(),
+		MeasCoV:   series.CoV(),
+	}
+
+	// Refit off the columnar population + kernel caches. A sparse interval
+	// (no usable flows) skips the fit but still reports and predicts.
+	var nextMu, nextSigma float64
+	if in, err := core.InputFromFlowsPop(p.pop, results[0].Flows, p.cfg.IntervalSec); err == nil {
+		rep.Lambda, rep.MeanS, rep.MeanS2oD = in.Lambda, in.MeanS, in.MeanS2OverD
+		if b, ok, err := core.FitPowerB(rep.MeasVar, in.Lambda, in.MeanS2OverD); err == nil {
+			rep.FittedB, rep.FitOK = b, ok
+		}
+		// Next interval's anomaly band: mean λ·E[S], σ from the eq.(7)
+		// kernel whose integer shape is nearest the fitted exponent.
+		bIdx := int(math.Round(rep.FittedB))
+		if bIdx < 0 {
+			bIdx = 0
+		}
+		if bIdx > 2 {
+			bIdx = 2
+		}
+		if v, err := p.kernels[bIdx].AveragedVariance(in.Lambda, in.Pop); err == nil && v > 0 {
+			nextMu = in.Lambda * in.MeanS
+			nextSigma = math.Sqrt(v)
+		}
+	}
+
+	// Anomaly scan against the band fitted on the previous interval.
+	if p.detSigma > 0 {
+		det := anomaly.Detector{Mu: p.detMu, Sigma: p.detSigma, Z: p.cfg.Z, MinRun: p.cfg.MinRun}
+		rep.Anomalies = det.Scan(series)
+	}
+
+	// Settle the pending prediction, then predict the next interval's mean.
+	if p.predHas {
+		rep.Predicted, rep.HasPrediction = p.predNext, true
+	}
+	p.means.Push(rep.MeasMean)
+	p.predHas = false
+	p.hist = p.means.AppendValues(p.hist[:0])
+	if m := p.cfg.PredictOrder; len(p.hist) >= m+2 {
+		rho := predict.MeasuredACF(p.hist, m)
+		if pr, err := predict.FromACF(rho, m); err == nil {
+			var level float64
+			for _, v := range p.hist {
+				level += v
+			}
+			level /= float64(len(p.hist))
+			c := predict.Centered{P: pr, Level: level}
+			if v, err := c.Predict(p.hist); err == nil {
+				p.predNext, p.predHas = v, true
+			}
+		}
+	}
+
+	p.detMu, p.detSigma = nextMu, nextSigma
+
+	// Re-arm for the next interval before reporting, so a reporting error
+	// (or panic) never leaves a half-closed interval behind.
+	p.cur++
+	p.pktsCur = 0
+	p.meas.Reset()
+	if err := p.bin.Reinit(p.cfg.IntervalSec, p.cfg.Delta); err != nil {
+		return err
+	}
+	if p.cfg.OnInterval != nil {
+		if err := p.cfg.OnInterval(rep); err != nil {
+			return fmt.Errorf("service: interval %d report: %w", rep.Index, err)
+		}
+	}
+	return nil
+}

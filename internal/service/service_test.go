@@ -1,0 +1,613 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/snapshot"
+	"repro/internal/trace"
+)
+
+// Test geometry: 2 s analysis intervals over 6 s epochs, so every epoch
+// spans three intervals and epoch boundaries never coincide with block
+// boundaries.
+const (
+	tInterval = 2.0
+	tDelta    = 0.1
+	tEpoch    = 6.0
+)
+
+func testBase(seed int64) trace.Config {
+	return trace.Config{
+		Duration:  tEpoch,
+		Lambda:    40,
+		SizeBytes: dist.Constant{V: 20000},
+		RateBps:   dist.Constant{V: 1e6},
+		ShotB:     dist.Constant{V: 1},
+		Seed:      seed,
+	}
+}
+
+func testPipeCfg(reps *[]Report) PipelineConfig {
+	return PipelineConfig{
+		IntervalSec: tInterval,
+		Delta:       tDelta,
+		Window:      8,
+		OnInterval: func(r Report) error {
+			*reps = append(*reps, r)
+			return nil
+		},
+	}
+}
+
+// checkNoLeaks asserts the run left nothing behind: every pooled block
+// returned (exact, immediate) and the goroutine count settles back to its
+// pre-run level.
+func checkNoLeaks(t *testing.T, baseBlocks int64, baseGoroutines int) {
+	t.Helper()
+	if got := trace.LiveBlocks(); got != baseBlocks {
+		t.Fatalf("leaked %d pool blocks", got-baseBlocks)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseGoroutines {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d before", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ownedBlocks materialises a source's whole stream into owned blocks so
+// tests can feed the same packets to several pipelines and split the stream
+// at arbitrary block boundaries.
+func ownedBlocks(t *testing.T, src BlockSource) []*trace.Block {
+	t.Helper()
+	var out []*trace.Block
+	err := src.Stream(context.Background(), Cursor{}, func(_ int64, blk *trace.Block) error {
+		ob := trace.GetBlock()
+		ob.AppendRebased(blk, 0, blk.Len(), 0)
+		out = append(out, ob)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func putAll(bs []*trace.Block) {
+	for _, b := range bs {
+		trace.PutBlock(b)
+	}
+}
+
+func feedAll(t *testing.T, p *Pipeline, blocks []*trace.Block) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := p.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func countPackets(bs []*trace.Block) int64 {
+	var n int64
+	for _, b := range bs {
+		n += int64(b.Len())
+	}
+	return n
+}
+
+func TestPipelineConfigValidation(t *testing.T) {
+	bad := []PipelineConfig{
+		{IntervalSec: 0, Delta: 0.1},
+		{IntervalSec: 2, Delta: 0},
+		{IntervalSec: 2, Delta: 3}, // delta > interval
+		{IntervalSec: 2, Delta: 0.1, Window: 1},
+		{IntervalSec: 2, Delta: 0.1, Window: 8, PredictOrder: 7}, // > window-2
+	}
+	for i, cfg := range bad {
+		if _, err := NewPipeline(cfg); err == nil {
+			t.Fatalf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := NewPipeline(PipelineConfig{IntervalSec: 2, Delta: 0.1}); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestPipelineStreamReports(t *testing.T) {
+	blocks := ownedBlocks(t, &SyntheticSource{Base: testBase(7), Epochs: 2})
+	defer putAll(blocks)
+
+	var reps []Report
+	p, err := NewPipeline(testPipeCfg(&reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, p, blocks)
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantIntervals := int(2 * tEpoch / tInterval) // 6
+	if len(reps) != wantIntervals {
+		t.Fatalf("got %d reports, want %d", len(reps), wantIntervals)
+	}
+	var pkts int64
+	for i, r := range reps {
+		if r.Index != i {
+			t.Fatalf("report %d has index %d", i, r.Index)
+		}
+		if r.Start != float64(i)*tInterval {
+			t.Fatalf("report %d starts at %g", i, r.Start)
+		}
+		if r.Partial != (i == wantIntervals-1) {
+			t.Fatalf("report %d partial=%v", i, r.Partial)
+		}
+		if r.Packets == 0 || r.Flows == 0 {
+			t.Fatalf("report %d is empty: %+v", i, r)
+		}
+		if r.MeasMean <= 0 {
+			t.Fatalf("report %d mean rate %g", i, r.MeasMean)
+		}
+		if r.Lambda <= 0 || r.MeanS <= 0 || r.MeanS2oD <= 0 {
+			t.Fatalf("report %d has no model inputs: %+v", i, r)
+		}
+		if i < 4 && r.HasPrediction {
+			t.Fatalf("report %d predicted before enough history", i)
+		}
+		pkts += r.Packets
+	}
+	if want := countPackets(blocks); pkts != want {
+		t.Fatalf("reports account for %d packets, stream had %d", pkts, want)
+	}
+	// With a full window of history the one-step predictor must be live.
+	if last := reps[len(reps)-1]; !last.HasPrediction {
+		t.Fatalf("no prediction with %d intervals of history", len(reps)-1)
+	}
+	if p.StreamTime() <= 0 || p.Interval() != wantIntervals {
+		t.Fatalf("stream clock %g, interval %d", p.StreamTime(), p.Interval())
+	}
+}
+
+// The tentpole differential: snapshotting mid-stream, round-tripping the
+// checkpoint through the on-disk frame codec, and restoring into a fresh
+// pipeline must be observationally invisible — the restored pipeline emits
+// exactly the reports the uninterrupted one does, at every cut point.
+func TestPipelineSnapshotDifferential(t *testing.T) {
+	blocks := ownedBlocks(t, &SyntheticSource{Base: testBase(11), Epochs: 2})
+	defer putAll(blocks)
+
+	var golden []Report
+	pg, err := NewPipeline(testPipeCfg(&golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, pg, blocks)
+	if err := pg.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	cuts := []int{1, len(blocks) / 3, len(blocks) / 2, len(blocks) - 1}
+	for _, cut := range cuts {
+		var bReps, cReps []Report
+		pb, err := NewPipeline(testPipeCfg(&bReps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedAll(t, pb, blocks[:cut])
+		nPrefix := len(bReps)
+
+		// Round-trip the checkpoint through the durable frame format, not
+		// just the in-memory sections.
+		var buf bytes.Buffer
+		if err := snapshot.Encode(&buf, 7, pb.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		secs, seq, err := snapshot.Decode(buf.Bytes())
+		if err != nil || seq != 7 {
+			t.Fatalf("decode: seq %d err %v", seq, err)
+		}
+		pc, err := NewPipeline(testPipeCfg(&cReps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.Restore(secs); err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+
+		feedAll(t, pb, blocks[cut:])
+		feedAll(t, pc, blocks[cut:])
+		if err := pb.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bReps[nPrefix:], cReps) {
+			t.Fatalf("cut %d: restored pipeline reports diverge from the uninterrupted run", cut)
+		}
+		if !reflect.DeepEqual(bReps, golden) {
+			t.Fatalf("cut %d: snapshotting perturbed the live pipeline", cut)
+		}
+		if !reflect.DeepEqual(pb.Snapshot(), pc.Snapshot()) {
+			t.Fatalf("cut %d: final states differ between live and restored pipelines", cut)
+		}
+	}
+}
+
+func TestPipelineRestoreRejectsMismatchedConfig(t *testing.T) {
+	blocks := ownedBlocks(t, &SyntheticSource{Base: testBase(13), Epochs: 1})
+	defer putAll(blocks)
+
+	var reps []Report
+	pa, err := NewPipeline(testPipeCfg(&reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, pa, blocks)
+	secs := pa.Snapshot()
+
+	other := testPipeCfg(&reps)
+	other.Delta = 0.05
+	pb, err := NewPipeline(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.Restore(secs); err == nil {
+		t.Fatal("checkpoint from a different geometry restored silently")
+	}
+	if pb.Interval() != 0 || pb.StreamTime() != 0 || pb.ActiveFlows() != 0 {
+		t.Fatal("failed restore left state behind")
+	}
+	// The rejected pipeline must still work as a fresh one.
+	feedAll(t, pb, blocks)
+	if err := pb.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineRejectsDisorderedInput(t *testing.T) {
+	var reps []Report
+	p, err := NewPipeline(testPipeCfg(&reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := trace.GetBlock()
+	defer trace.PutBlock(blk)
+	blk.Append(-1, 100, 1, 2)
+	if err := p.AddBlock(blk); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	blk.Reset()
+	blk.Append(5, 100, 1, 2)
+	if err := p.AddBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	blk.Reset()
+	blk.Append(1, 100, 1, 2)
+	if err := p.AddBlock(blk); err == nil {
+		t.Fatal("time reversal across blocks accepted")
+	}
+}
+
+func TestPipelineDrainIsIdempotent(t *testing.T) {
+	var reps []Report
+	p, err := NewPipeline(testPipeCfg(&reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(); err != nil || len(reps) != 0 {
+		t.Fatalf("drain of a fresh pipeline: err %v, %d reports", err, len(reps))
+	}
+	blk := trace.GetBlock()
+	defer trace.PutBlock(blk)
+	blk.Append(0.5, 1000, 1, 2)
+	blk.Append(0.9, 1000, 1, 2)
+	if err := p.AddBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Partial || reps[0].Packets != 2 {
+		t.Fatalf("partial drain reports = %+v", reps)
+	}
+	if err := p.Drain(); err != nil || len(reps) != 1 {
+		t.Fatalf("second drain: err %v, %d reports", err, len(reps))
+	}
+}
+
+// flatPkt is one packet of a flattened source stream, for exact comparison.
+type flatPkt struct {
+	epoch int64
+	t     float64
+	size  uint16
+	src   uint64
+	dst   uint64
+}
+
+func flatten(t *testing.T, src BlockSource, cur Cursor) []flatPkt {
+	t.Helper()
+	var out []flatPkt
+	err := src.Stream(context.Background(), cur, func(epoch int64, blk *trace.Block) error {
+		for i := 0; i < blk.Len(); i++ {
+			out = append(out, flatPkt{epoch, blk.Times[i], blk.Sizes[i], blk.Srcs[i], blk.Dsts[i]})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Packet-exact resume: streaming from any cursor must produce exactly the
+// suffix of the full stream — the property that makes checkpointed restarts
+// bit-identical.
+func TestSyntheticSourceResumesExactly(t *testing.T) {
+	src := &SyntheticSource{Base: testBase(3), Epochs: 2}
+	full := flatten(t, src, Cursor{})
+	if len(full) == 0 {
+		t.Fatal("empty stream")
+	}
+	epoch0 := 0
+	for _, p := range full {
+		if p.epoch == 0 {
+			epoch0++
+		}
+	}
+	cursors := []Cursor{
+		{0, 0}, {0, 1}, {0, 255}, {0, 256}, {0, 257}, {0, int64(epoch0)},
+		{1, 0}, {1, 37},
+	}
+	for _, cur := range cursors {
+		skip := cur.Packets
+		if cur.Epoch > 0 {
+			skip += int64(epoch0)
+		}
+		suffix := flatten(t, src, cur)
+		if !reflect.DeepEqual(full[skip:], suffix) {
+			t.Fatalf("cursor %+v: resumed stream is not the exact suffix", cur)
+		}
+	}
+	// Parallel generation must produce the identical stream.
+	par := &SyntheticSource{Base: testBase(3), Epochs: 2, GenWorkers: 4}
+	if got := flatten(t, par, Cursor{1, 37}); !reflect.DeepEqual(full[epoch0+37:], got) {
+		t.Fatal("parallel generation diverges from serial")
+	}
+}
+
+func TestSyntheticSourceRejectsBadConfig(t *testing.T) {
+	noDur := &SyntheticSource{Base: trace.Config{}}
+	if err := noDur.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("zero duration: %v", err)
+	}
+	mut := &SyntheticSource{Base: testBase(1), Epochs: 1, Mutate: func(_ int64, cfg *trace.Config) {
+		cfg.Seed++
+	}}
+	err := mut.Stream(context.Background(), Cursor{}, func(int64, *trace.Block) error { return nil })
+	if !errors.Is(err, ErrPermanent) {
+		t.Fatalf("seed-changing mutate: %v", err)
+	}
+}
+
+func TestReplaySourceResumesExactly(t *testing.T) {
+	recs, _, err := trace.GenerateAll(testBase(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &ReplaySource{Recs: recs, Duration: tEpoch, Epochs: 2}
+	full := flatten(t, src, Cursor{})
+	if len(full) != 2*len(recs) {
+		t.Fatalf("replayed %d packets from %d records over 2 epochs", len(full), len(recs))
+	}
+	for _, cur := range []Cursor{{0, 5}, {0, int64(len(recs))}, {1, 0}, {1, int64(len(recs)) - 1}} {
+		skip := cur.Packets + cur.Epoch*int64(len(recs))
+		if got := flatten(t, src, cur); !reflect.DeepEqual(full[skip:], got) {
+			t.Fatalf("cursor %+v: resumed replay is not the exact suffix", cur)
+		}
+	}
+
+	empty := &ReplaySource{Duration: 1}
+	if err := empty.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("empty replay: %v", err)
+	}
+	short := &ReplaySource{Recs: recs, Duration: recs[len(recs)-1].Time / 2}
+	if err := short.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("short duration: %v", err)
+	}
+	far := &ReplaySource{Recs: recs, Duration: tEpoch}
+	if err := far.Stream(context.Background(), Cursor{Packets: int64(len(recs)) + 1}, nil); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("cursor past the epoch: %v", err)
+	}
+}
+
+func TestLinkBoundedRunDrainsAndCheckpoints(t *testing.T) {
+	baseBlocks, baseGoroutines := trace.LiveBlocks(), runtime.NumGoroutine()
+	store, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []Report
+	link, err := NewLink(LinkConfig{
+		Name:     "l0",
+		Source:   &SyntheticSource{Base: testBase(21), Epochs: 2},
+		Pipeline: testPipeCfg(&reps),
+		Store:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The link's reports must be exactly what a direct feed produces.
+	blocks := ownedBlocks(t, &SyntheticSource{Base: testBase(21), Epochs: 2})
+	var golden []Report
+	pg, err := NewPipeline(testPipeCfg(&golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, pg, blocks)
+	if err := pg.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reps, golden) {
+		t.Fatal("link reports differ from a direct pipeline feed")
+	}
+
+	st := link.Stats()
+	if st.FreshStarts != 1 || st.Restores != 0 {
+		t.Fatalf("first run stats: %+v", st)
+	}
+	if st.Checkpoints < 2 {
+		t.Fatalf("only %d checkpoints over %d intervals", st.Checkpoints, len(reps))
+	}
+	if want := countPackets(blocks); st.Packets != want {
+		t.Fatalf("link counted %d packets, stream had %d", st.Packets, want)
+	}
+	putAll(blocks)
+
+	// Re-running against the final checkpoint resumes at end-of-stream:
+	// no duplicate reports, one restore, still a clean stop.
+	n := len(reps)
+	if err := link.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != n {
+		t.Fatalf("resumed run re-emitted %d reports", len(reps)-n)
+	}
+	if st := link.Stats(); st.Restores != 1 {
+		t.Fatalf("second run stats: %+v", st)
+	}
+	checkNoLeaks(t, baseBlocks, baseGoroutines)
+}
+
+// denyBudget refuses every TryReserve — the maximal-shedding harness.
+type denyBudget struct{}
+
+func (denyBudget) Reserve(context.Context, int64) error { return nil }
+func (denyBudget) TryReserve(int64) bool                { return false }
+func (denyBudget) Release(int64)                        {}
+
+func TestLinkShedAccountingIsExact(t *testing.T) {
+	baseBlocks, baseGoroutines := trace.LiveBlocks(), runtime.NumGoroutine()
+	blocks := ownedBlocks(t, &SyntheticSource{Base: testBase(9), Epochs: 1})
+	total := countPackets(blocks)
+	nBlocks := int64(len(blocks))
+	putAll(blocks)
+
+	var reps []Report
+	link, err := NewLink(LinkConfig{
+		Name:     "shed",
+		Source:   &SyntheticSource{Base: testBase(9), Epochs: 1},
+		Pipeline: testPipeCfg(&reps),
+		Budget:   denyBudget{},
+		Shed:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := link.Stats()
+	if st.Packets != 0 || len(reps) != 0 {
+		t.Fatalf("fully-shed run still measured: %+v, %d reports", st, len(reps))
+	}
+	if st.ShedPackets != total || st.ShedBlocks != nBlocks {
+		t.Fatalf("shed %d packets / %d blocks, produced %d / %d", st.ShedPackets, st.ShedBlocks, total, nBlocks)
+	}
+	checkNoLeaks(t, baseBlocks, baseGoroutines)
+}
+
+func TestLinkCancellationDrainsAndCheckpoints(t *testing.T) {
+	baseBlocks, baseGoroutines := trace.LiveBlocks(), runtime.NumGoroutine()
+	store, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var reps []Report
+	cfg := testPipeCfg(&reps)
+	inner := cfg.OnInterval
+	cfg.OnInterval = func(r Report) error {
+		if err := inner(r); err != nil {
+			return err
+		}
+		if len(reps) == 3 {
+			cancel() // SIGTERM mid-stream
+		}
+		return nil
+	}
+	link, err := NewLink(LinkConfig{
+		Name:     "term",
+		Source:   &SyntheticSource{Base: testBase(17), GenWorkers: 2}, // unbounded
+		Pipeline: cfg,
+		Store:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = link.Run(ctx)
+	if err == nil || Classify(err) != Canceled {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+	if len(reps) < 3 {
+		t.Fatalf("only %d reports before cancellation", len(reps))
+	}
+	if st := link.Stats(); st.Checkpoints < 1 {
+		t.Fatalf("no final checkpoint on drain: %+v", st)
+	}
+	// The final checkpoint must be loadable and carry a usable cursor.
+	secs, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dummy []Report
+	p, err := NewPipeline(testPipeCfg(&dummy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(secs); err != nil {
+		t.Fatalf("final checkpoint does not restore: %v", err)
+	}
+	cur, err := DecodeCursor(secs)
+	if err != nil || (cur == Cursor{}) {
+		t.Fatalf("final cursor %+v, err %v", cur, err)
+	}
+
+	// Under the supervisor, cancellation is a clean stop.
+	if err := newTestSupervisorReal(t).Run(ctx, link.Run); err != nil {
+		t.Fatalf("supervisor turned cancellation into %v", err)
+	}
+	checkNoLeaks(t, baseBlocks, baseGoroutines)
+}
+
+// newTestSupervisorReal builds a supervisor on the real clock with
+// microsecond-scale backoff, for end-to-end link tests.
+func newTestSupervisorReal(t *testing.T) *Supervisor {
+	t.Helper()
+	b, err := NewBackoff(200*time.Microsecond, 2*time.Millisecond, 1, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBreaker(25, time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Supervisor{Name: "test", Backoff: b, Breaker: br}
+}

@@ -1,0 +1,341 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSections() []Section {
+	return []Section{
+		{Type: 1, Data: []byte("flow-table state")},
+		{Type: 2, Data: []byte{}},
+		{Type: 3, Data: bytes.Repeat([]byte{0xAB, 0xCD}, 300)},
+	}
+}
+
+func encode(t *testing.T, seq uint64, secs []Section) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, seq, secs); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func sectionsEqual(a, b []Section) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleSections()
+	data := encode(t, 7, want)
+	got, seq, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if seq != 7 {
+		t.Fatalf("seq = %d, want 7", seq)
+	}
+	if !sectionsEqual(got, want) {
+		t.Fatalf("sections differ after round trip")
+	}
+}
+
+func TestDecodeEmptyCheckpoint(t *testing.T) {
+	data := encode(t, 1, nil)
+	got, seq, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if seq != 1 || len(got) != 0 {
+		t.Fatalf("got %d sections seq %d, want 0 sections seq 1", len(got), seq)
+	}
+}
+
+// TestDecodeTruncationMatrix truncates the encoded checkpoint at EVERY byte
+// length and asserts decode either succeeds (only at full length) or fails
+// with a tagged error — never a panic, never silent wrong state.
+func TestDecodeTruncationMatrix(t *testing.T) {
+	full := encode(t, 3, sampleSections())
+	for n := 0; n < len(full); n++ {
+		secs, _, err := Decode(full[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(full))
+		}
+		if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("truncation to %d bytes: untagged error %v", n, err)
+		}
+		// Whatever prefix decoded must be internally valid sections of the
+		// original — a torn tail yields a valid prefix, never garbage.
+		want := sampleSections()
+		if len(secs) > len(want) {
+			t.Fatalf("truncation to %d bytes yielded %d sections (> %d)", n, len(secs), len(want))
+		}
+		if !sectionsEqual(secs, want[:len(secs)]) {
+			t.Fatalf("truncation to %d bytes yielded a non-prefix section set", n)
+		}
+	}
+	if _, _, err := Decode(full); err != nil {
+		t.Fatalf("full checkpoint failed to decode: %v", err)
+	}
+}
+
+// TestDecodeBitFlipMatrix flips one bit at every byte position and asserts
+// decode never panics and never silently accepts wrong bytes: any decode
+// that reports success must return exactly the original sections and seq.
+// (A flip in an already-consumed region can't be detected — but framing
+// means every byte is covered by some CRC, so success implies equality.)
+func TestDecodeBitFlipMatrix(t *testing.T) {
+	want := sampleSections()
+	full := encode(t, 9, want)
+	buf := make([]byte, len(full))
+	for pos := 0; pos < len(full); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(buf, full)
+			buf[pos] ^= 1 << bit
+			secs, seq, err := Decode(buf)
+			if err == nil {
+				if seq != 9 || !sectionsEqual(secs, want) {
+					t.Fatalf("flip at byte %d bit %d silently decoded wrong state", pos, bit)
+				}
+				t.Fatalf("flip at byte %d bit %d not detected", pos, bit)
+			}
+			if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("flip at byte %d bit %d: untagged error %v", pos, bit, err)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsMixedSequences(t *testing.T) {
+	// Concatenate frames from two generations: decode must reject.
+	var a, b bytes.Buffer
+	if err := Encode(&a, 1, []Section{{Type: 1, Data: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// a without its commit frame + b's frames (skip b's file magic).
+	commitLen := headerSize + 4
+	mixed := append(append([]byte{}, a.Bytes()[:a.Len()-commitLen]...), b.Bytes()[len(fileMagic):]...)
+	if _, _, err := Decode(mixed); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mixed-generation frames decoded with err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestEncodeRejectsReservedType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, 1, []Section{{Type: commitType}}); err == nil {
+		t.Fatal("Encode accepted the reserved commit section type")
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSections()
+	seq, err := st.Save(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("first Save seq = %d, want 1", seq)
+	}
+	got, gseq, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gseq != 1 || !sectionsEqual(got, want) {
+		t.Fatalf("Load returned seq %d / wrong sections", gseq)
+	}
+
+	// A reopened store continues the sequence.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err = st2.Save(nil); err != nil || seq != 2 {
+		t.Fatalf("reopened Save = (%d, %v), want (2, nil)", seq, err)
+	}
+}
+
+func TestStoreRetainsTwoGenerations(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Save(sampleSections()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := st.generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("retained generations %v, want [4 5]", seqs)
+	}
+}
+
+func TestStoreLoadEmpty(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store Load err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestStoreTornTailFallsBack simulates a kill -9 mid-write: the newest
+// checkpoint file is truncated (as if rename happened but the data didn't
+// fully reach disk, or a direct-write strategy tore). Load must fall back
+// to the previous complete generation.
+func TestStoreTornTailFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Section{{Type: 1, Data: []byte("generation one")}}
+	if _, err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save([]Section{{Type: 1, Data: []byte("generation two")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear generation 2: chop off its tail, taking the commit frame with it.
+	p := st.path(2)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-(headerSize+4)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load after torn tail: %v", err)
+	}
+	if seq != 1 || !sectionsEqual(got, want) {
+		t.Fatalf("Load fell back to seq %d, want generation 1", seq)
+	}
+}
+
+func TestStoreAllGenerationsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	p := st.path(1)
+	data, _ := os.ReadFile(p)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-corrupt Load err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-abc.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := st.Save(nil); err != nil || seq != 1 {
+		t.Fatalf("Save = (%d, %v), want (1, nil)", seq, err)
+	}
+}
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U64(42)
+	e.I64(-7)
+	e.F64(3.14159)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64s([]float64{1.5, -2.5, 0})
+	e.F64s(nil)
+
+	d := NewDec(e.Bytes())
+	if v := d.U64(); v != 42 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -7 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %g", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	vs := d.F64s()
+	if len(vs) != 3 || vs[0] != 1.5 || vs[1] != -2.5 || vs[2] != 0 {
+		t.Fatalf("F64s = %v", vs)
+	}
+	if vs := d.F64s(); vs != nil {
+		t.Fatalf("empty F64s = %v", vs)
+	}
+	if d.Err() != nil || d.Rest() != 0 {
+		t.Fatalf("Err=%v Rest=%d after full decode", d.Err(), d.Rest())
+	}
+}
+
+func TestDecShortBufferLatches(t *testing.T) {
+	d := NewDec([]byte{1, 2, 3})
+	if v := d.U64(); v != 0 {
+		t.Fatalf("short U64 = %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("short-buffer Err = %v, want ErrCorrupt", d.Err())
+	}
+	// Latched: further reads stay zero and don't panic.
+	if v := d.F64(); v != 0 {
+		t.Fatalf("post-error F64 = %g", v)
+	}
+	if vs := d.F64s(); vs != nil {
+		t.Fatalf("post-error F64s = %v", vs)
+	}
+}
+
+func TestDecF64sHugeLengthRejected(t *testing.T) {
+	var e Enc
+	e.U64(1 << 40) // absurd length prefix
+	d := NewDec(e.Bytes())
+	if vs := d.F64s(); vs != nil {
+		t.Fatalf("huge-length F64s = %v", vs)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("huge-length Err = %v, want ErrCorrupt", d.Err())
+	}
+}
