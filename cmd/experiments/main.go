@@ -9,6 +9,13 @@
 //	experiments -run table1,fig9,fig10
 //	experiments -run table2 -predsec 1800
 //	experiments -link 20e6 -interval 60 -maxivl 4 -run fig9   # quick pass
+//	experiments -store stores/ -run table1                    # measure tracegen -store output
+//	experiments -shard 0/2 -shard-out s0.shard                # measure half the traces
+//	experiments -shard-merge s0.shard,s1.shard -run all       # merge and render
+//
+// Sharding splits the suite's traces across processes (see
+// scripts/shard_demo.sh); the merged output is byte-identical to a
+// single-process run with the same flags.
 package main
 
 import (
@@ -39,6 +46,11 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "summaries only, no per-point output")
 		budget  = flag.Int64("membudget", 0, "cap resident bytes of in-flight measurement blocks (0 = unlimited); producers block when it fills")
 		shed    = flag.Bool("shed", false, "with -membudget: drop intervals under memory pressure instead of blocking the producer (drops are reported)")
+
+		storeDir   = flag.String("store", "", "read pre-generated trace stores (<dir>/<name>.fstore from tracegen -store, matching suite geometry) instead of synthesising")
+		shard      = flag.String("shard", "", "measure only shard i of N traces, written i/N (e.g. 0/2); requires -shard-out")
+		shardOut   = flag.String("shard-out", "", "with -shard: write this shard's measurements to the file and exit without rendering")
+		shardMerge = flag.String("shard-merge", "", "comma-separated shard files to merge instead of measuring; renders the full suite byte-identically to a single-process run")
 	)
 	flag.Parse()
 
@@ -68,6 +80,21 @@ func main() {
 	}
 	if *shed && *budget == 0 {
 		fatal(fmt.Errorf("-shed needs a -membudget to shed against"))
+	}
+	shardIndex, shardCount := 0, 0
+	if *shard != "" {
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &shardIndex, &shardCount); err != nil || shardCount < 2 || shardIndex < 0 || shardIndex >= shardCount {
+			fatal(fmt.Errorf("-shard must be i/N with 0 <= i < N and N >= 2, got %q", *shard))
+		}
+		if *shardOut == "" {
+			fatal(fmt.Errorf("-shard renders a partial suite; use it with -shard-out and merge with -shard-merge"))
+		}
+		if *shardMerge != "" {
+			fatal(fmt.Errorf("-shard and -shard-merge are mutually exclusive"))
+		}
+	}
+	if *shardOut != "" && *shard == "" {
+		fatal(fmt.Errorf("-shard-out needs -shard"))
 	}
 
 	// Ctrl-C cancels the measurement pass cleanly: producers stop, workers
@@ -105,9 +132,26 @@ func main() {
 		Context:        ctx,
 		MemBudgetBytes: *budget,
 		Shed:           *shed,
+		StoreDir:       *storeDir,
+		ShardIndex:     shardIndex,
+		ShardCount:     shardCount,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	defer r.Close()
+
+	if *shardOut != "" {
+		if err := r.ExportShard(*shardOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote shard %s to %s\n", *shard, *shardOut)
+		return
+	}
+	if *shardMerge != "" {
+		if err := r.MergeShards(strings.Split(*shardMerge, ",")...); err != nil {
+			fatal(err)
+		}
 	}
 
 	want := map[string]bool{}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
+	tracestore "repro/internal/trace/store"
 )
 
 func main() {
@@ -201,28 +202,87 @@ func buildSource(kind, in string, epoch float64, epochs int64, lambda, b float64
 		if in == "" {
 			return nil, fmt.Errorf("-in is required with -source pcap")
 		}
-		f, err := os.Open(in)
+		side, err := ensurePcapStore(in)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		recs, err := trace.ReadPcap(f)
+		// The reader lives for the process: the service replays straight off
+		// the file mapping, so the trace never has to fit in memory.
+		r, err := tracestore.Open(side)
 		if err != nil {
 			return nil, err
 		}
-		if len(recs) == 0 {
+		if r.Packets() == 0 {
+			r.Close()
 			return nil, fmt.Errorf("empty trace %s", in)
 		}
 		// The replay loop length must cover the trace; grow a too-short
 		// -epoch to the trace length instead of refusing to start.
 		dur := epoch
-		if last := recs[len(recs)-1].Time; dur < last {
+		if last := r.LastTime(); dur < last {
 			dur = math.Ceil(last)
 		}
-		return &service.ReplaySource{Recs: recs, Duration: dur, Epochs: epochs}, nil
+		return &service.ReplaySource{Reader: r, Duration: dur, Epochs: epochs}, nil
 	default:
 		return nil, fmt.Errorf("unknown -source %q (synthetic or pcap)", kind)
 	}
+}
+
+// ensurePcapStore converts a pcap into its columnar sidecar <in>.fstore once;
+// later runs (and supervisor restarts) reuse the sidecar while it is newer
+// than the pcap, skipping the parse and replaying out-of-core.
+func ensurePcapStore(in string) (string, error) {
+	side := in + ".fstore"
+	pst, err := os.Stat(in)
+	if err != nil {
+		return "", err
+	}
+	if sst, err := os.Stat(side); err == nil && sst.ModTime().After(pst.ModTime()) {
+		return side, nil
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	recs, err := trace.ReadPcap(f)
+	if err != nil {
+		return "", err
+	}
+	if len(recs) == 0 {
+		return "", fmt.Errorf("empty trace %s", in)
+	}
+	last := recs[len(recs)-1].Time
+	w, err := tracestore.Create(side, tracestore.Meta{Duration: math.Ceil(last)}, tracestore.Options{})
+	if err != nil {
+		return "", err
+	}
+	defer w.Abort()
+	var sum trace.Summary
+	blk := trace.GetBlock()
+	defer trace.PutBlock(blk)
+	for _, rec := range recs {
+		if blk.Len() == trace.BlockSize {
+			if err := w.AddBlock(blk); err != nil {
+				return "", err
+			}
+			blk.Reset()
+		}
+		src, dst := rec.Hdr.Packed()
+		blk.Append(rec.Time, rec.Hdr.TotalLen, src, dst)
+		sum.Packets++
+		sum.Bytes += int64(rec.Hdr.TotalLen)
+	}
+	if blk.Len() > 0 {
+		if err := w.AddBlock(blk); err != nil {
+			return "", err
+		}
+	}
+	sum.Duration = math.Ceil(last)
+	if err := w.Close(sum); err != nil {
+		return "", err
+	}
+	return side, nil
 }
 
 // printReport renders one closed analysis interval.

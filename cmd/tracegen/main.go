@@ -2,11 +2,17 @@
 // OC-12 substitutes of Table I) and writes them as standard pcap files that
 // tcpdump/wireshark can open and cmd/flowstats can analyse.
 //
+// With -store it writes the columnar trace store format instead
+// (internal/trace/store): segment frames of packed SoA columns plus a
+// checkpoint footer, the out-of-core input of `experiments -store` and
+// flowd replay.
+//
 // Usage:
 //
 //	tracegen -o trace1.pcap                  # trace 1 of the scaled suite
 //	tracegen -trace 4 -o quiet.pcap          # the 26 Mb/s (scaled) trace
 //	tracegen -duration 60 -lambda 200 -b 2 -o custom.pcap
+//	tracegen -store -o trace-1.fstore        # columnar store with footer
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 func main() {
@@ -30,10 +37,13 @@ func main() {
 		b        = flag.Float64("b", 2, "custom mode: shot exponent (0 rect, 1 tri, 2 parabolic)")
 		link     = flag.Float64("link", 100e6, "suite mode: scaled link capacity in bit/s")
 		ivl      = flag.Float64("interval", 120, "suite mode: analysis interval seconds")
+		perHour  = flag.Float64("perhour", 2, "suite mode: analysis intervals per paper trace hour")
 		maxIvl   = flag.Int("maxivl", 2, "suite mode: intervals to generate")
 		seed     = flag.Int64("seed", 1, "random seed")
 		warmup   = flag.Float64("warmup", 60, "stationarity warm-up in seconds")
 		genWork  = flag.Int("genworkers", 1, "packet-synthesis workers (<= 1 = serial generator); output is identical at any count")
+		useStore = flag.Bool("store", false, "write a columnar trace store (.fstore) instead of a pcap; the file bytes are identical at any -genworkers")
+		ckptEvr  = flag.Float64("ckpt-every", 0, "store mode: seconds between footer checkpoints (0 = the analysis interval in suite mode, no footer in custom mode)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -53,6 +63,9 @@ func main() {
 	}
 	if !(*ivl > 0) {
 		fatal(fmt.Errorf("-interval must be > 0 seconds, got %g", *ivl))
+	}
+	if !(*perHour > 0) {
+		fatal(fmt.Errorf("-perhour must be > 0, got %g", *perHour))
 	}
 	if *maxIvl < 1 {
 		fatal(fmt.Errorf("-maxivl must be >= 1 interval, got %d", *maxIvl))
@@ -85,10 +98,11 @@ func main() {
 		}
 	} else {
 		specs, err := trace.DefaultSuite(trace.SuiteOptions{
-			LinkBps:      *link,
-			IntervalSec:  *ivl,
-			MaxIntervals: *maxIvl,
-			Seed:         *seed,
+			LinkBps:          *link,
+			IntervalSec:      *ivl,
+			IntervalsPerHour: *perHour,
+			MaxIntervals:     *maxIvl,
+			Seed:             *seed,
 		})
 		if err != nil {
 			fatal(err)
@@ -100,10 +114,28 @@ func main() {
 		cfg.Warmup = *warmup
 	}
 
+	if *ckptEvr < 0 {
+		fatal(fmt.Errorf("-ckpt-every must be >= 0 seconds, got %g", *ckptEvr))
+	}
+
 	// SIGINT/SIGTERM abort the run cleanly: generation stops at the next
 	// block boundary and no partial output file is left behind.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *useStore {
+		every := *ckptEvr
+		if every == 0 && *duration == 0 {
+			every = *ivl // suite mode: one footer checkpoint per analysis interval
+		}
+		sum, err := store.Generate(ctx, *out, cfg, every, store.Options{Workers: *genWork})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d packets, %d flows, %.2f Mb/s over %.0f s (columnar store)\n",
+			*out, sum.Packets, sum.Flows, sum.AvgRateBps/1e6, sum.Duration)
+		return
+	}
 
 	recs, sum, err := generateAll(ctx, cfg, *genWork)
 	if err != nil {

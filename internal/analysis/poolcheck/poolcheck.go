@@ -20,7 +20,12 @@
 //   - a block still held when its scope ends or the function returns
 //     (leak), including re-acquiring into a variable that still holds an
 //     unreleased block,
-//   - a bare GetBlock() whose result is discarded.
+//   - a bare GetBlock() whose result is discarded,
+//   - a borrowed view reaching PutBlock (pool poisoning): a Block composite
+//     literal or Slice() result aliases foreign column storage — for the
+//     store read path, a PROT_READ mmap — and recycling it would hand that
+//     storage to the next GetBlock caller. Borrowed views are
+//     copy-on-recycle: copy into an owned pool block, drop the view.
 //
 // defer PutBlock(b) releases b on every exit path and is the idiomatic
 // whole-function hold.
@@ -52,6 +57,7 @@ type state int
 const (
 	held     state = iota // acquired from GetBlock, not yet released
 	released              // PutBlock called; any further use is a bug
+	borrowed              // a column-aliasing view; must never reach PutBlock
 )
 
 // tracked carries the analysis state for the locals of one function.
@@ -131,6 +137,43 @@ func (t *tracked) poolCall(call *ast.CallExpr) (get, put bool) {
 	return false, false
 }
 
+// isBlockType reports whether typ is the pool package's Block (or *Block).
+func (t *tracked) isBlockType(typ types.Type) bool {
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Block" && obj.Pkg() != nil && obj.Pkg().Path() == PoolPackage
+}
+
+// borrowExpr reports whether e constructs a borrowed view: a Block composite
+// literal (optionally &-wrapped) or a Slice() call, both of which alias
+// column storage the pool must never own. The store read path hands such
+// views out over its mmap; recycling one would poison the pool.
+func (t *tracked) borrowExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		tv, ok := t.pass.Info.Types[ast.Expr(e)]
+		return ok && t.isBlockType(tv.Type)
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := t.pass.Info.Uses[sel.Sel].(*types.Func)
+		return ok && fn.Name() == "Slice" && fn.Pkg() != nil && fn.Pkg().Path() == PoolPackage
+	}
+	return false
+}
+
 // localVar resolves an expression to a tracked-eligible local variable.
 func (t *tracked) localVar(e ast.Expr) *types.Var {
 	id, ok := ast.Unparen(e).(*ast.Ident)
@@ -169,7 +212,12 @@ func (t *tracked) stmt(s ast.Stmt, depth int) (terminated bool) {
 	case *ast.DeferStmt:
 		if _, put := t.poolCall(s.Call); put && len(s.Call.Args) == 1 {
 			if v := t.localVar(s.Call.Args[0]); v != nil {
-				if _, ok := t.state[v]; ok {
+				if st, ok := t.state[v]; ok {
+					if st == borrowed {
+						t.pass.Reportf(s.Pos(), "block %s is a borrowed view, not a pool block: PutBlock would poison the pool", v.Name())
+						t.untrack(v)
+						return false
+					}
 					if t.deferred[v] {
 						t.pass.Reportf(s.Pos(), "block %s already has a deferred PutBlock: double put", v.Name())
 					}
@@ -295,6 +343,24 @@ func (t *tracked) assign(s *ast.AssignStmt, depth int) {
 				return
 			}
 		}
+		// A borrowed view (Block literal / Slice result) bound to a local:
+		// track it so a later PutBlock is flagged as pool poisoning. The
+		// source block of a Slice stays tracked — the view aliases its
+		// columns but does not take over recycling duty.
+		if t.borrowExpr(s.Rhs[0]) {
+			if v := t.localVar(s.Lhs[0]); v != nil {
+				t.expr(s.Rhs[0])
+				if st, ok := t.state[v]; ok && st == held && !t.deferred[v] {
+					t.pass.Reportf(s.Pos(), "block %s overwritten while still held: block leaks", v.Name())
+				}
+				t.state[v] = borrowed
+				delete(t.deferred, v)
+				if _, ok := t.declDepth[v]; !ok {
+					t.declDepth[v] = depth
+				}
+				return
+			}
+		}
 	}
 	for _, r := range s.Rhs {
 		// Aliasing a tracked block (y := blk) forks ownership; drop both.
@@ -336,8 +402,21 @@ func (t *tracked) expr(e ast.Expr) {
 			}
 			if put {
 				if len(n.Args) == 1 {
-					if v := t.localVar(n.Args[0]); v != nil {
+					arg := ast.Unparen(n.Args[0])
+					if v := t.localVar(arg); v != nil {
 						t.put(v, n.Pos())
+						return false
+					}
+					// Value-typed views are put as &v; unwrap the address-of
+					// so the borrowed state is consulted, not bypassed.
+					if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						if v := t.localVar(ue.X); v != nil {
+							t.put(v, n.Pos())
+							return false
+						}
+					}
+					if t.borrowExpr(arg) {
+						t.pass.Reportf(n.Pos(), "borrowed view passed to PutBlock: pool poisoning")
 						return false
 					}
 				}
@@ -398,6 +477,11 @@ func (t *tracked) put(v *types.Var, pos token.Pos) {
 	st, ok := t.state[v]
 	if !ok {
 		return // untracked (escaped or never from GetBlock)
+	}
+	if st == borrowed {
+		t.pass.Reportf(pos, "block %s is a borrowed view, not a pool block: PutBlock would poison the pool", v.Name())
+		t.untrack(v)
+		return
 	}
 	if st == released || t.deferred[v] {
 		t.pass.Reportf(pos, "block %s returned to the pool twice: double PutBlock", v.Name())

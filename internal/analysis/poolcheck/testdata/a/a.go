@@ -213,3 +213,63 @@ func WrappedPositional(out chan<- envelope) {
 	b := trace.GetBlock()
 	out <- envelope{1, b}
 }
+
+// BorrowedCopy is the legal consumer shape for the store read path: the
+// view aliases foreign column storage (an mmap, in the reader), the
+// consumer copies out of it into an owned pool block and drops the view
+// without recycling it. Silent.
+func BorrowedCopy(times []float64, sizes []uint16, srcs, dsts []uint64) int {
+	v := trace.Block{Times: times, Sizes: sizes, Srcs: srcs, Dsts: dsts}
+	out := trace.GetBlock()
+	out.AppendRebased(&v, 0, len(times), 0)
+	n := out.Len()
+	trace.PutBlock(out)
+	return n
+}
+
+// BorrowedPut recycles a column-borrowing view: the pool would hand the
+// foreign storage to the next GetBlock caller.
+func BorrowedPut(times []float64, sizes []uint16, srcs, dsts []uint64) {
+	v := trace.Block{Times: times, Sizes: sizes, Srcs: srcs, Dsts: dsts}
+	trace.PutBlock(&v) // want "block v is a borrowed view, not a pool block: PutBlock would poison the pool"
+}
+
+// BorrowedPtrPut poisons through a pointer-typed view.
+func BorrowedPtrPut(times []float64) {
+	b := &trace.Block{Times: times}
+	trace.PutBlock(b) // want "block b is a borrowed view, not a pool block: PutBlock would poison the pool"
+}
+
+// BorrowedLiteralPut poisons with the literal inline.
+func BorrowedLiteralPut(times []float64) {
+	trace.PutBlock(&trace.Block{Times: times}) // want "borrowed view passed to PutBlock: pool poisoning"
+}
+
+// BorrowedDeferPut poisons through a deferred put.
+func BorrowedDeferPut(times []float64) int {
+	v := trace.Block{Times: times}
+	defer trace.PutBlock(&v) // want "block v is a borrowed view, not a pool block: PutBlock would poison the pool"
+	return v.Len()
+}
+
+// SlicePut recycles a Slice view instead of its backing block: the view
+// shares the pool block's columns, so putting it both poisons the pool and
+// double-frees the storage once the real block is put.
+func SlicePut() {
+	b := trace.GetBlock()
+	b.Append(1, 64, 1, 2)
+	v := b.Slice(0, 1)
+	trace.PutBlock(&v) // want "block v is a borrowed view, not a pool block: PutBlock would poison the pool"
+	trace.PutBlock(b)
+}
+
+// SliceRead takes a view for reading and puts only the backing block.
+// Silent — the view never reaches the pool.
+func SliceRead() int {
+	b := trace.GetBlock()
+	b.Append(1, 64, 1, 2)
+	v := b.Slice(0, 1)
+	n := v.Len()
+	trace.PutBlock(b)
+	return n
+}

@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 // renderSuiteOpts runs the suite-wide experiments whose output covers every
@@ -33,6 +37,141 @@ func renderSuite(t *testing.T, o Options) string {
 		t.Fatal(err)
 	}
 	return buf.String()
+}
+
+// generateSuiteStores writes every suite trace as a store file (footer
+// checkpoint per analysis interval) into a temp dir, as `tracegen -store`
+// would, and returns the dir.
+func generateSuiteStores(t *testing.T, o Options) string {
+	t.Helper()
+	dir := t.TempDir()
+	specs, err := trace.DefaultSuite(o.Suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		cfg := suiteConfig(spec)
+		path := filepath.Join(dir, spec.Name+".fstore")
+		if _, err := store.Generate(context.Background(), path, cfg, spec.IntervalSec, store.Options{}); err != nil {
+			t.Fatalf("generating %s: %v", path, err)
+		}
+	}
+	return dir
+}
+
+// Suite-from-store is the out-of-core measurement path: stored blocks carry
+// the generator's exact rebased times, so the suite output — and the
+// reference figures, which then replay through the store's checkpoint
+// footer instead of a resident program index — must be byte-identical to
+// the synthesis pass.
+func TestSuiteFromStoreMatchesSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	golden := renderSuiteOpts(t, tinyOptions(), 1)
+	dir := generateSuiteStores(t, tinyOptions())
+	o := tinyOptions()
+	o.StoreDir = dir
+	if got := renderSuiteOpts(t, o, 4); got != golden {
+		t.Fatal("suite-from-store output differs from suite-from-synthesis")
+	}
+
+	// Reference-interval figures: footer-backed replay vs in-memory index.
+	rs, err := NewRunner(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rm, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromStore, fromMem bytes.Buffer
+	if err := rs.Fig1(&fromStore); err != nil {
+		t.Fatal(err)
+	}
+	if rs.refStore == nil {
+		t.Fatal("store-backed runner did not replay the reference window through the footer")
+	}
+	if err := rm.Fig1(&fromMem); err != nil {
+		t.Fatal(err)
+	}
+	if fromStore.String() != fromMem.String() {
+		t.Fatal("footer-backed reference replay differs from the in-memory index")
+	}
+}
+
+// Shard export/merge is the cross-process contract: two shard runners over
+// disjoint trace subsets, exported to files and merged into a fresh runner,
+// must render byte-identical output to the single-process pass — including
+// the reference figures, whose flow results travel with the shard that owns
+// trace 0.
+func TestShardMergeMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping suite measurement in -short mode")
+	}
+	golden := renderSuiteOpts(t, tinyOptions(), 1)
+	gr, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldenFig1 bytes.Buffer
+	if err := gr.Fig1(&goldenFig1); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var files []string
+	for i := 0; i < 2; i++ {
+		o := tinyOptions()
+		o.ShardIndex, o.ShardCount = i, 2
+		r, err := NewRunner(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.shard", i))
+		if err := r.ExportShard(path); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+
+	m, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MergeShards(files...); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fig9(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fig12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Fatal("merged shard output differs from the single-process run")
+	}
+	var mergedFig1 bytes.Buffer
+	if err := m.Fig1(&mergedFig1); err != nil {
+		t.Fatal(err)
+	}
+	if mergedFig1.String() != goldenFig1.String() {
+		t.Fatal("merged reference figure differs from the single-process run")
+	}
+
+	// A merge that misses a shard must refuse, not render a partial suite.
+	p, err := NewRunner(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MergeShards(files[0]); err == nil {
+		t.Fatal("merge accepted incomplete shard coverage")
+	}
 }
 
 // The measurement pass schedules (trace, interval) tasks over a worker pool;

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/membudget"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 // Options scales the experiment suite. The zero value reproduces the
@@ -62,6 +64,21 @@ type Options struct {
 	// partitioned blocks across the whole pass. Producers block when the
 	// budget is full (backpressure; output is unchanged) unless Shed is set.
 	MemBudgetBytes int64
+	// StoreDir, when set, points the measurement pass at pre-generated trace
+	// stores: each suite trace streams from <StoreDir>/<name>.fstore
+	// (written by `tracegen -store` with the same suite geometry) instead of
+	// being re-synthesised, and reference windows replay through the store's
+	// checkpoint footer — no resident program index. Output is byte-identical
+	// to the synthesis path: stored blocks carry the exact rebased times the
+	// generator emitted.
+	StoreDir string
+	// ShardIndex/ShardCount split the suite across processes: this runner
+	// measures only traces ti with ti % ShardCount == ShardIndex
+	// (ShardCount <= 1 = the whole suite). A shard runner's own rendering is
+	// partial by construction; ExportShard persists its measurements so
+	// MergeShards can reassemble the full suite byte-identically elsewhere.
+	ShardIndex int
+	ShardCount int
 	// Shed switches the memory budget from backpressure to load shedding:
 	// a producer that cannot reserve a block drops the rest of that
 	// interval, the interval's stream is flagged, its statistics are
@@ -152,11 +169,29 @@ type Runner struct {
 	// flows) instead of replaying the trace prefix, and all windows of the
 	// trace share the one phase-1 pass the index holds.
 	refCk *trace.Checkpoints
+	// refStore keeps the reference trace's store reader open while refCk
+	// replays through its footer (the index aliases the file mapping).
+	refStore *store.Reader
+}
+
+// Close releases what the runner may hold open — currently the reference
+// trace's store reader (store-backed passes only). Windows handed out by
+// RefInterval die with it. Safe on a runner that never measured.
+func (r *Runner) Close() error {
+	if r.refStore == nil {
+		return nil
+	}
+	err := r.refStore.Close()
+	r.refStore, r.refCk = nil, nil
+	return err
 }
 
 // NewRunner builds the scaled suite.
 func NewRunner(opts Options) (*Runner, error) {
 	o := opts.withDefaults()
+	if o.ShardCount > 1 && (o.ShardIndex < 0 || o.ShardIndex >= o.ShardCount) {
+		return nil, fmt.Errorf("experiments: shard index %d outside 0..%d", o.ShardIndex, o.ShardCount-1)
+	}
 	specs, err := trace.DefaultSuite(o.Suite)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -395,6 +430,9 @@ func (r *Runner) measureSuite() error {
 		go func() {
 			defer prodWG.Done()
 			for ti := range tis {
+				if !r.ownsTrace(ti) {
+					continue // another shard's trace: its slots stay empty
+				}
 				// One failure aborts the traces not yet started (indices are
 				// dispatched in order, so the first error by index is always
 				// a real one, never this sentinel).
@@ -518,8 +556,14 @@ func (r *Runner) produceTrace(ctx context.Context, ti int, spec trace.TraceSpec,
 	// The generation workers synthesise timeline shards concurrently and
 	// feed the partitioner one merged, time-ordered, bit-identical block
 	// stream — the partitioner cannot tell it apart from the serial
-	// generator's.
-	sum, err = trace.StreamParallelBlocksCtx(ctx, cfg, r.opts.GenWorkers, sink)
+	// generator's. A pre-generated store replays the identical stream
+	// (stored blocks carry the exact rebased times the generator emitted),
+	// so the source choice never changes the science.
+	if r.opts.StoreDir != "" {
+		sum, err = r.streamStored(ctx, spec, cfg, sink)
+	} else {
+		sum, err = trace.StreamParallelBlocksCtx(ctx, cfg, r.opts.GenWorkers, sink)
+	}
 	if err != nil {
 		part.Abort()
 		tr.shedIntervals, tr.shedRecords = part.ShedStats()
@@ -531,6 +575,37 @@ func (r *Runner) produceTrace(ctx context.Context, ti int, spec trace.TraceSpec,
 	}
 	tr.shedIntervals, tr.shedRecords = part.ShedStats()
 	return sum, nil
+}
+
+// ownsTrace reports whether this runner's shard measures trace ti.
+func (r *Runner) ownsTrace(ti int) bool {
+	return r.opts.ShardCount <= 1 || ti%r.opts.ShardCount == r.opts.ShardIndex
+}
+
+// storePath locates one suite trace's pre-generated store file.
+func (r *Runner) storePath(spec trace.TraceSpec) string {
+	return filepath.Join(r.opts.StoreDir, spec.Name+".fstore")
+}
+
+// streamStored replays a pre-generated trace store through sink, standing in
+// for the generator. The stored metadata is cross-checked against the exact
+// configuration the synthesis path would have run, so a stale or mismatched
+// store fails loudly instead of measuring the wrong trace.
+func (r *Runner) streamStored(ctx context.Context, spec trace.TraceSpec, cfg trace.Config, sink func(*trace.Block) error) (trace.Summary, error) {
+	sr, err := store.Open(r.storePath(spec))
+	if err != nil {
+		return trace.Summary{}, err
+	}
+	defer sr.Close()
+	m := sr.Meta()
+	if m.Seed != cfg.Seed || m.Duration != cfg.Duration || m.Warmup != cfg.Warmup || m.Lambda != cfg.Lambda {
+		return trace.Summary{}, fmt.Errorf("store %s generated with (seed %d, duration %g, warmup %g, lambda %g); suite needs (%d, %g, %g, %g)",
+			r.storePath(spec), m.Seed, m.Duration, m.Warmup, m.Lambda, cfg.Seed, cfg.Duration, cfg.Warmup, cfg.Lambda)
+	}
+	if err := sr.Stream(ctx, 0, sink); err != nil {
+		return trace.Summary{}, err
+	}
+	return sr.Summary(), nil
 }
 
 // measureInterval is the scheduler's second level: it owns one interval
@@ -676,13 +751,28 @@ func (r *Runner) RefInterval() (trace.Window, flow.Result, flow.Result, error) {
 		return trace.Window{}, flow.Result{}, flow.Result{}, err
 	}
 	if r.refCk == nil {
-		// One checkpoint per analysis interval: reference windows are
-		// interval-aligned, so replay carry-over stays minimal.
-		ck, err := trace.NewCheckpoints(suiteConfig(r.specs[0]), r.specs[0].IntervalSec)
-		if err != nil {
-			return trace.Window{}, flow.Result{}, flow.Result{}, err
+		cfg0 := suiteConfig(r.specs[0])
+		if r.opts.StoreDir != "" {
+			// The store footer streams programs from disk: the reference
+			// trace's checkpoint index costs no resident []FlowProgram. A
+			// store without a footer falls back to the in-memory index.
+			if sr, err := store.Open(r.storePath(r.specs[0])); err == nil {
+				if ck, cerr := sr.Checkpoints(cfg0); cerr == nil {
+					r.refCk, r.refStore = ck, sr
+				} else {
+					sr.Close()
+				}
+			}
 		}
-		r.refCk = ck
+		if r.refCk == nil {
+			// One checkpoint per analysis interval: reference windows are
+			// interval-aligned, so replay carry-over stays minimal.
+			ck, err := trace.NewCheckpoints(cfg0, r.specs[0].IntervalSec)
+			if err != nil {
+				return trace.Window{}, flow.Result{}, flow.Result{}, err
+			}
+			r.refCk = ck
+		}
 	}
 	win, err := r.refCk.Window(0, r.specs[0].IntervalSec)
 	if err != nil {

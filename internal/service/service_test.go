@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/membudget"
 	"repro/internal/snapshot"
 	"repro/internal/trace"
+	tracestore "repro/internal/trace/store"
 )
 
 // Test geometry: 2 s analysis intervals over 6 s epochs, so every epoch
@@ -402,12 +405,50 @@ func TestSyntheticSourceRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// storeFromRecords writes recs into a trace store file (deliberately odd
+// segment size so resume cursors cross segment boundaries) and opens it.
+func storeFromRecords(t *testing.T, recs []trace.Record, dur float64) *tracestore.Reader {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "replay.fstore")
+	w, err := tracestore.Create(path, tracestore.Meta{Duration: dur}, tracestore.Options{SegmentPackets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := trace.GetBlock()
+	defer trace.PutBlock(blk)
+	for _, rec := range recs {
+		if blk.Len() == trace.BlockSize {
+			if err := w.AddBlock(blk); err != nil {
+				t.Fatal(err)
+			}
+			blk.Reset()
+		}
+		src, dst := rec.Hdr.Packed()
+		blk.Append(rec.Time, rec.Hdr.TotalLen, src, dst)
+	}
+	if blk.Len() > 0 {
+		if err := w.AddBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(trace.Summary{Packets: int64(len(recs)), Duration: dur}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tracestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
 func TestReplaySourceResumesExactly(t *testing.T) {
 	recs, _, err := trace.GenerateAll(testBase(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := &ReplaySource{Recs: recs, Duration: tEpoch, Epochs: 2}
+	r := storeFromRecords(t, recs, tEpoch)
+	src := &ReplaySource{Reader: r, Duration: tEpoch, Epochs: 2}
 	full := flatten(t, src, Cursor{})
 	if len(full) != 2*len(recs) {
 		t.Fatalf("replayed %d packets from %d records over 2 epochs", len(full), len(recs))
@@ -419,18 +460,78 @@ func TestReplaySourceResumesExactly(t *testing.T) {
 		}
 	}
 
-	empty := &ReplaySource{Duration: 1}
+	// Duration 0 defaults to the store's recorded trace duration.
+	def := &ReplaySource{Reader: r, Epochs: 1}
+	if got := flatten(t, def, Cursor{}); !reflect.DeepEqual(full[:len(recs)], got) {
+		t.Fatal("default duration does not replay the stored epoch")
+	}
+
+	noReader := &ReplaySource{Duration: 1}
+	if err := noReader.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("reader-less replay: %v", err)
+	}
+	empty := &ReplaySource{Reader: storeFromRecords(t, nil, 1), Duration: 1}
 	if err := empty.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
 		t.Fatalf("empty replay: %v", err)
 	}
-	short := &ReplaySource{Recs: recs, Duration: recs[len(recs)-1].Time / 2}
+	short := &ReplaySource{Reader: r, Duration: recs[len(recs)-1].Time / 2}
 	if err := short.Stream(context.Background(), Cursor{}, nil); !errors.Is(err, ErrPermanent) {
 		t.Fatalf("short duration: %v", err)
 	}
-	far := &ReplaySource{Recs: recs, Duration: tEpoch}
+	far := &ReplaySource{Reader: r, Duration: tEpoch}
 	if err := far.Stream(context.Background(), Cursor{Packets: int64(len(recs)) + 1}, nil); !errors.Is(err, ErrPermanent) {
 		t.Fatalf("cursor past the epoch: %v", err)
 	}
+}
+
+// A stored trace far larger than the ingest budget must replay to completion
+// under backpressure: the source's resident state is one block plus one
+// segment of the mapping, not the trace, so a 32-block budget never
+// deadlocks, and every charged byte and pooled block is returned by the end.
+func TestReplayStoreLargerThanBudget(t *testing.T) {
+	baseBlocks, baseGoroutines := trace.LiveBlocks(), runtime.NumGoroutine()
+	cfg := testBase(29)
+	cfg.Lambda = 400
+	recs, _, err := trace.GenerateAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := storeFromRecords(t, recs, tEpoch)
+	budgetBytes := 32 * trace.BlockCost(trace.BlockSize)
+	if stored := r.Packets() * 26; stored <= budgetBytes {
+		t.Fatalf("fixture too small: %d stored bytes vs %d budget", stored, budgetBytes)
+	}
+	budget, err := membudget.New(budgetBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []Report
+	link, err := NewLink(LinkConfig{
+		Name:     "bounded-replay",
+		Source:   &ReplaySource{Reader: r, Duration: tEpoch, Epochs: 2},
+		Pipeline: testPipeCfg(&reps),
+		Budget:   budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := link.Stats()
+	if st.Packets != 2*int64(len(recs)) {
+		t.Fatalf("measured %d packets, want %d", st.Packets, 2*len(recs))
+	}
+	if st.ShedPackets != 0 {
+		t.Fatalf("shed %d packets without -shed", st.ShedPackets)
+	}
+	if got := budget.Used(); got != 0 {
+		t.Fatalf("budget holds %d bytes after a clean run", got)
+	}
+	if budget.Peak() == 0 || budget.Peak() > budgetBytes {
+		t.Fatalf("budget peak %d outside (0, %d]", budget.Peak(), budgetBytes)
+	}
+	checkNoLeaks(t, baseBlocks, baseGoroutines)
 }
 
 func TestLinkBoundedRunDrainsAndCheckpoints(t *testing.T) {

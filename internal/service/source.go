@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 // Cursor is an exact ingest position: the epoch (one bounded replay/
@@ -90,12 +91,17 @@ func (s *SyntheticSource) Stream(ctx context.Context, cur Cursor, fn func(int64,
 	return nil
 }
 
-// ReplaySource loops a materialised packet trace (e.g. a pcap read into
-// records): epoch e replays the records with times shifted by e·Duration.
-// Records must be time-ordered within [0, Duration).
+// ReplaySource loops a stored packet trace: epoch e replays the store's
+// packets with times shifted by e·Duration. The trace never lives in memory
+// — the reader serves one segment at a time (pages of the file mapping on
+// the zero-copy path), so flowd replays traces far larger than its memory
+// budget at O(segment) resident cost, with exact Cursor resume.
 type ReplaySource struct {
-	Recs []trace.Record
-	// Duration is the epoch length in seconds (≥ the last record's time).
+	// Reader is the opened trace store (required). The source borrows it;
+	// the caller owns Close.
+	Reader *store.Reader
+	// Duration is the epoch length in seconds (≥ the last packet's time;
+	// 0 = the store's recorded trace duration).
 	Duration float64
 	// Epochs bounds the stream (0 = unbounded).
 	Epochs int64
@@ -103,47 +109,45 @@ type ReplaySource struct {
 
 // Stream implements BlockSource.
 func (s *ReplaySource) Stream(ctx context.Context, cur Cursor, fn func(int64, *trace.Block) error) error {
-	if len(s.Recs) == 0 {
+	if s.Reader == nil {
+		return MarkPermanent(fmt.Errorf("service: replay source has no store reader"))
+	}
+	total := s.Reader.Packets()
+	if total == 0 {
 		return MarkPermanent(fmt.Errorf("service: replay source has no records"))
 	}
-	if !(s.Duration > 0) || s.Recs[len(s.Recs)-1].Time > s.Duration {
+	dur := s.Duration
+	if dur == 0 {
+		dur = s.Reader.Meta().Duration
+	}
+	if !(dur > 0) || s.Reader.LastTime() > dur {
 		return MarkPermanent(fmt.Errorf("service: replay duration %g does not cover the trace (last packet at %g)",
-			s.Duration, s.Recs[len(s.Recs)-1].Time))
+			dur, s.Reader.LastTime()))
 	}
-	if cur.Packets > int64(len(s.Recs)) {
-		return MarkPermanent(fmt.Errorf("service: cursor %d packets into an epoch of %d records", cur.Packets, len(s.Recs)))
+	if cur.Packets > total {
+		return MarkPermanent(fmt.Errorf("service: cursor %d packets into an epoch of %d records", cur.Packets, total))
 	}
-	blk := trace.GetBlock()
-	defer trace.PutBlock(blk)
+	// One pooled block is the source's whole resident state: stored blocks
+	// are borrowed read-only views (possibly of the PROT_READ mapping), so
+	// the epoch time shift happens during the copy the pipeline needs anyway.
+	out := trace.GetBlock()
+	defer trace.PutBlock(out)
 	for epoch := cur.Epoch; s.Epochs == 0 || epoch < s.Epochs; epoch++ {
 		start := int64(0)
 		if epoch == cur.Epoch {
 			start = cur.Packets
 		}
-		offset := float64(epoch) * s.Duration
-		blk.Reset()
-		for i := start; i < int64(len(s.Recs)); i++ {
-			if blk.Len() == trace.BlockSize {
-				if err := fn(epoch, blk); err != nil {
-					return err
-				}
-				blk.Reset()
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("service: replay: %w", err)
-				}
+		offset := float64(epoch) * dur
+		err := s.Reader.Stream(ctx, start, func(blk *trace.Block) error {
+			out.Reset()
+			out.AppendRebased(blk, 0, blk.Len(), -offset)
+			return fn(epoch, out)
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("service: replay: %w", ctx.Err())
 			}
-			r := s.Recs[i]
-			src, dst := r.Hdr.Packed()
-			blk.Append(r.Time+offset, r.Hdr.TotalLen, src, dst)
-		}
-		if blk.Len() > 0 {
-			if err := fn(epoch, blk); err != nil {
-				return err
-			}
-			blk.Reset()
-		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("service: replay: %w", err)
+			return err
 		}
 	}
 	return nil

@@ -57,6 +57,14 @@ const (
 	commitType = 0xFFFFFFFF
 	// headerSize: magic(4) + type(4) + seq(8) + len(4) + headerCRC(4).
 	headerSize = 24
+	// FrameHeaderSize is the byte length of the frame header WriteFrame
+	// emits before the payload — exported so a frame-file writer (the trace
+	// store) can compute a payload's absolute file offset, e.g. to pad
+	// columns onto an mmap-friendly alignment.
+	FrameHeaderSize = headerSize
+	// FrameTrailerSize is the byte length of the payload CRC WriteFrame
+	// appends after the payload.
+	FrameTrailerSize = 4
 	// MaxSectionBytes bounds one section so a corrupt length field cannot
 	// drive a multi-gigabyte allocation before its CRC is even checked.
 	MaxSectionBytes = 1 << 30
@@ -72,8 +80,11 @@ type Section struct {
 	Data []byte
 }
 
-// writeFrame appends one CRC-guarded frame to w.
-func writeFrame(w io.Writer, typ uint32, seq uint64, payload []byte) error {
+// WriteFrame appends one CRC-guarded frame to w: the 24-byte header (magic,
+// type, sequence, length, header CRC), the payload, and the payload CRC.
+// This is the framing primitive shared by checkpoint encoding and the trace
+// store's segment files; ReadFrameAt is its inverse.
+func WriteFrame(w io.Writer, typ uint32, seq uint64, payload []byte) error {
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], typ)
@@ -107,11 +118,48 @@ func Encode(w io.Writer, seq uint64, sections []Section) error {
 		if len(s.Data) > MaxSectionBytes {
 			return fmt.Errorf("snapshot: section of %d bytes exceeds the %d byte bound", len(s.Data), MaxSectionBytes)
 		}
-		if err := writeFrame(w, s.Type, seq, s.Data); err != nil {
+		if err := WriteFrame(w, s.Type, seq, s.Data); err != nil {
 			return err
 		}
 	}
-	return writeFrame(w, commitType, seq, nil)
+	return WriteFrame(w, commitType, seq, nil)
+}
+
+// ReadFrameAt validates and reads the frame starting at data[off], returning
+// its type, sequence, payload and the offset of the next frame. The payload
+// is a subslice of data — zero-copy, so a caller over an mmap'd file reads
+// column runs without materialising them — and is only valid while data is.
+// Truncation mid-frame wraps ErrTorn; any CRC/magic/bound failure wraps
+// ErrCorrupt.
+func ReadFrameAt(data []byte, off int) (typ uint32, seq uint64, payload []byte, next int, err error) {
+	if len(data)-off < headerSize {
+		return 0, 0, nil, off, fmt.Errorf("file ends inside a frame header at offset %d: %w", off, ErrTorn)
+	}
+	hdr := data[off : off+headerSize]
+	if binary.LittleEndian.Uint32(hdr[20:]) != crc32.Checksum(hdr[:20], crcTable) {
+		// A torn header tail and a flipped header bit are indistinguishable
+		// without the CRC; the header CRC failing on a full-length header
+		// means the bytes themselves are wrong.
+		return 0, 0, nil, off, fmt.Errorf("frame header CRC mismatch at offset %d: %w", off, ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return 0, 0, nil, off, fmt.Errorf("bad frame magic at offset %d: %w", off, ErrCorrupt)
+	}
+	typ = binary.LittleEndian.Uint32(hdr[4:])
+	seq = binary.LittleEndian.Uint64(hdr[8:])
+	plen := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if plen > MaxSectionBytes {
+		return 0, 0, nil, off, fmt.Errorf("frame payload of %d bytes exceeds bound: %w", plen, ErrCorrupt)
+	}
+	body := off + headerSize
+	if len(data)-body < plen+FrameTrailerSize {
+		return 0, 0, nil, off, fmt.Errorf("file ends inside a frame payload at offset %d: %w", off, ErrTorn)
+	}
+	payload = data[body : body+plen]
+	if binary.LittleEndian.Uint32(data[body+plen:]) != crc32.Checksum(payload, crcTable) {
+		return 0, 0, nil, off, fmt.Errorf("frame payload CRC mismatch at offset %d: %w", off, ErrCorrupt)
+	}
+	return typ, seq, payload, body + plen + FrameTrailerSize, nil
 }
 
 // Decode reads a checkpoint written by Encode, validating every frame. On
@@ -133,24 +181,9 @@ func Decode(data []byte) (sections []Section, seq uint64, err error) {
 		if committed {
 			return sections, seq, fmt.Errorf("trailing bytes after commit frame: %w", ErrCorrupt)
 		}
-		if len(data)-off < headerSize {
-			return sections, seq, fmt.Errorf("file ends inside a frame header: %w", ErrTorn)
-		}
-		hdr := data[off : off+headerSize]
-		if binary.LittleEndian.Uint32(hdr[20:]) != crc32.Checksum(hdr[:20], crcTable) {
-			// A torn header tail and a flipped header bit are
-			// indistinguishable without the CRC; the header CRC failing on a
-			// full-length header means the bytes themselves are wrong.
-			return sections, seq, fmt.Errorf("frame header CRC mismatch at offset %d: %w", off, ErrCorrupt)
-		}
-		if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
-			return sections, seq, fmt.Errorf("bad frame magic at offset %d: %w", off, ErrCorrupt)
-		}
-		typ := binary.LittleEndian.Uint32(hdr[4:])
-		fseq := binary.LittleEndian.Uint64(hdr[8:])
-		plen := int(binary.LittleEndian.Uint32(hdr[16:]))
-		if plen > MaxSectionBytes {
-			return sections, seq, fmt.Errorf("frame payload of %d bytes exceeds bound: %w", plen, ErrCorrupt)
+		typ, fseq, payload, next, err := ReadFrameAt(data, off)
+		if err != nil {
+			return sections, seq, err
 		}
 		if first {
 			seq = fseq
@@ -158,18 +191,10 @@ func Decode(data []byte) (sections []Section, seq uint64, err error) {
 		} else if fseq != seq {
 			return sections, seq, fmt.Errorf("frame sequence %d != checkpoint sequence %d: %w", fseq, seq, ErrCorrupt)
 		}
-		body := off + headerSize
-		if len(data)-body < plen+4 {
-			return sections, seq, fmt.Errorf("file ends inside a frame payload: %w", ErrTorn)
-		}
-		payload := data[body : body+plen]
-		if binary.LittleEndian.Uint32(data[body+plen:]) != crc32.Checksum(payload, crcTable) {
-			return sections, seq, fmt.Errorf("frame payload CRC mismatch at offset %d: %w", off, ErrCorrupt)
-		}
-		off = body + plen + 4
+		off = next
 		if typ == commitType {
-			if plen != 0 {
-				return sections, seq, fmt.Errorf("commit frame carries %d payload bytes: %w", plen, ErrCorrupt)
+			if len(payload) != 0 {
+				return sections, seq, fmt.Errorf("commit frame carries %d payload bytes: %w", len(payload), ErrCorrupt)
 			}
 			committed = true
 			continue

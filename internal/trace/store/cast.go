@@ -1,0 +1,38 @@
+package store
+
+import "unsafe"
+
+// The zero-copy read path reinterprets column runs of the mapping as typed
+// slices. That is only a relabeling — no copy, no write — when the host is
+// little-endian (the on-disk byte order) and the run is aligned for its
+// element type; the writer pads segments so the 8-byte columns land on
+// 8-byte file offsets, the reader re-checks before casting, and any mismatch
+// falls back to the decode-copy path.
+
+// hostLittleEndian reports whether the host stores multi-byte integers in
+// the file's byte order.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func castF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castU64(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func castU16(b []byte) []uint16 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), len(b)/2)
+}

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile reports no mmap support: the reader falls back to os.ReadAt.
+func mapFile(f *os.File, size int64) (backing, error) { return nil, nil }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapBacking serves views as subslices of a PROT_READ shared mapping: the
+// zero-copy path. The kernel pages segments in and out on demand, so a
+// reader's resident set tracks its access pattern, not the file size.
+type mmapBacking struct {
+	data []byte
+}
+
+func (m *mmapBacking) size() int64 { return int64(len(m.data)) }
+
+func (m *mmapBacking) view(off, n int64, _ *[]byte) ([]byte, error) {
+	return m.data[off : off+n], nil
+}
+
+func (m *mmapBacking) close() error {
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}
+
+// mapFile maps f read-only. A nil backing (any failure, or an empty file —
+// zero-length mappings are invalid) sends the caller to the ReadAt fallback.
+func mapFile(f *os.File, size int64) (backing, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapBacking{data: data}, nil
+}
